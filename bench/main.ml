@@ -1,0 +1,197 @@
+(* Bechamel benchmark suite.
+
+   Two groups:
+
+   - "paper": one Test.make per table/figure of the paper (fig2..fig8 and
+     the ablations).  Each test executes one scaled-down simulator run of
+     that figure's workload (the full-scale regeneration is
+     bin/experiments.exe); bechamel measures the wall-clock cost of the
+     simulation itself.  After the bechamel table, the same scaled-down
+     configurations are run once more and their *simulated-cycle* results
+     are printed in the paper's layout, so `dune exec bench/main.exe`
+     shows both host-time costs and the reproduced shapes.
+
+   - "micro": single-threaded microbenchmarks of the sequential substrate
+     structures (skiplist / binary heap / pairing heap / sorted list) and
+     of the simulator's primitives. *)
+
+open Bechamel
+open Toolkit
+
+let quick_options =
+  {
+    Repro_workload.Figures.scale = 0.01;
+    max_procs_log2 = 5;
+    progress = ignore;
+  }
+
+(* --- one Test.make per paper table/figure -------------------------------- *)
+
+let paper_tests =
+  let make_one (id, runner) =
+    Test.make ~name:id
+      (Staged.stage (fun () ->
+           ignore (Sys.opaque_identity (runner quick_options))))
+  in
+  Test.make_grouped ~name:"paper" (List.map make_one Repro_workload.Figures.all)
+
+(* --- microbenchmarks ------------------------------------------------------ *)
+
+module Seq_skiplist = Repro_pqueue.Seq_skiplist.Make (Repro_pqueue.Key.Int)
+module Seq_heap = Repro_pqueue.Seq_heap.Make (Repro_pqueue.Key.Int)
+module Pairing = Repro_pqueue.Pairing_heap.Make (Repro_pqueue.Key.Int)
+module Dary = Repro_pqueue.Dary_heap.Make (Repro_pqueue.Key.Int)
+module Indexed = Repro_pqueue.Indexed_skiplist.Make (Repro_pqueue.Key.Int)
+module Sorted = Repro_pqueue.Sorted_list.Make (Repro_pqueue.Key.Int)
+module Machine = Repro_sim.Machine
+module Sim = Repro_sim.Sim_runtime
+module SQ = Repro_skipqueue.Skipqueue.Make (Sim) (Repro_pqueue.Key.Int)
+
+let keys = Array.init 1024 (fun i -> (i * 7919) mod 104729)
+
+let micro_tests =
+  let skiplist_churn =
+    Test.make ~name:"seq-skiplist churn 1024"
+      (Staged.stage (fun () ->
+           let t = Seq_skiplist.create () in
+           Array.iter (fun k -> ignore (Seq_skiplist.insert t k k)) keys;
+           while Seq_skiplist.delete_min t <> None do
+             ()
+           done))
+  in
+  let heap_churn =
+    Test.make ~name:"seq-heap churn 1024"
+      (Staged.stage (fun () ->
+           let t = Seq_heap.create () in
+           Array.iter (fun k -> Seq_heap.insert t k k) keys;
+           while Seq_heap.delete_min t <> None do
+             ()
+           done))
+  in
+  let pairing_churn =
+    Test.make ~name:"pairing-heap churn 1024"
+      (Staged.stage (fun () ->
+           let t = ref Pairing.empty in
+           Array.iter (fun k -> t := Pairing.insert !t k k) keys;
+           let rec drain () =
+             match Pairing.delete_min !t with
+             | None -> ()
+             | Some (_, rest) ->
+               t := rest;
+               drain ()
+           in
+           drain ()))
+  in
+  let dary_churn =
+    Test.make ~name:"4-ary-heap churn 1024"
+      (Staged.stage (fun () ->
+           let t = Dary.create () in
+           Array.iter (fun k -> Dary.insert t k k) keys;
+           while Dary.delete_min t <> None do
+             ()
+           done))
+  in
+  let indexed_churn =
+    Test.make ~name:"indexed-skiplist churn 1024"
+      (Staged.stage (fun () ->
+           let t = Indexed.create () in
+           Array.iter (fun k -> ignore (Indexed.insert t k k)) keys;
+           while Indexed.delete_min t <> None do
+             ()
+           done))
+  in
+  let sorted_churn =
+    Test.make ~name:"sorted-list churn 256"
+      (Staged.stage (fun () ->
+           let t = Sorted.create () in
+           Array.iteri (fun i k -> if i < 256 then Sorted.insert t k k) keys;
+           while Sorted.delete_min t <> None do
+             ()
+           done))
+  in
+  let sim_skipqueue =
+    Test.make ~name:"simulated skipqueue, 8 procs x 64 ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Machine.run (fun () ->
+                  let q = SQ.create () in
+                  for p = 0 to 7 do
+                    Machine.spawn (fun () ->
+                        for i = 0 to 63 do
+                          if i land 1 = 0 then
+                            ignore (SQ.insert q ((i * 131) + p) i)
+                          else ignore (SQ.delete_min q)
+                        done)
+                  done))))
+  in
+  let sim_scheduling =
+    Test.make ~name:"simulator overhead, 64 procs x 100 work slices"
+      (Staged.stage (fun () ->
+           ignore
+             (Machine.run (fun () ->
+                  for _ = 1 to 64 do
+                    Machine.spawn (fun () ->
+                        for _ = 1 to 100 do
+                          Machine.work 10
+                        done)
+                  done))))
+  in
+  Test.make_grouped ~name:"micro"
+    [
+      skiplist_churn;
+      heap_churn;
+      dary_churn;
+      indexed_churn;
+      pairing_churn;
+      sorted_churn;
+      sim_skipqueue;
+      sim_scheduling;
+    ]
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false
+      ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Printf.printf "%-55s %18s %8s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 83 '-');
+  List.iter
+    (fun (name, est, r2) -> Printf.printf "%-55s %18.0f %8.3f\n" name est r2)
+    rows
+
+let () =
+  print_endline "=== bechamel: host-time per benchmark ===";
+  print_endline "(paper/* entries each run one scaled-down simulation of that figure)";
+  let results = benchmark (Test.make_grouped ~name:"" [ paper_tests; micro_tests ]) in
+  print_results results;
+  print_newline ();
+  print_endline "=== reproduced shapes (scaled-down: 1% of ops, up to 32 procs) ===";
+  print_endline "full scale: dune exec bin/experiments.exe -- all";
+  print_newline ();
+  List.iter
+    (fun (_, runner) ->
+      print_string (Repro_workload.Figures.render (runner quick_options));
+      print_newline ())
+    Repro_workload.Figures.all

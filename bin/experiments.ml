@@ -1,0 +1,134 @@
+(* Command-line driver regenerating every table and figure of the paper's
+   evaluation (plus ablations) on the simulator.
+
+     experiments fig3                 # one figure, paper scale
+     experiments all --scale 0.1     # everything, 10% of the operations
+     experiments fig5 --max-procs 64 --quiet *)
+
+open Cmdliner
+
+let run_native domains_top scale quiet =
+  let progress msg = if not quiet then Printf.eprintf "[run] %s\n%!" msg in
+  let impls =
+    [
+      Repro_workload.Queue_adapter.Native.skipqueue ();
+      Repro_workload.Queue_adapter.Native.relaxed_skipqueue ();
+      Repro_workload.Queue_adapter.Native.hunt_heap ();
+      Repro_workload.Queue_adapter.Native.funnel_list ();
+    ]
+  in
+  let rec domain_counts d = if d > domains_top then [] else d :: domain_counts (2 * d) in
+  let workload =
+    {
+      Repro_workload.Benchmark.default_workload with
+      Repro_workload.Benchmark.initial_size = 1000;
+      total_ops = Int.max 1_000 (int_of_float (100_000.0 *. scale));
+      work_cycles = 100;
+    }
+  in
+  print_string
+    (Repro_workload.Native_bench.sweep ~progress impls ~procs:(domain_counts 1)
+       workload);
+  0
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_figures ids scale max_procs_log2 domains output quiet =
+  let progress msg = if not quiet then Printf.eprintf "[run] %s\n%!" msg in
+  let options = { Repro_workload.Figures.scale; max_procs_log2; progress } in
+  let known = Repro_workload.Figures.all in
+  let targets =
+    match ids with
+    | [] | [ "all" ] -> List.map fst known
+    | ids -> ids
+  in
+  (match output with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | Some _ | None -> ());
+  List.iter
+    (fun id ->
+      if id = "native" then ignore (run_native domains scale quiet)
+      else
+        match List.assoc_opt id known with
+        | Some f ->
+          let result = f options in
+          let rendered = Repro_workload.Figures.render result in
+          print_string rendered;
+          print_newline ();
+          (match output with
+          | None -> ()
+          | Some dir ->
+            write_file (Filename.concat dir (id ^ ".txt")) rendered;
+            if result.Repro_workload.Figures.data <> [] then
+              write_file
+                (Filename.concat dir (id ^ ".csv"))
+                (Repro_workload.Figures.to_csv result))
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n%!" id
+            (String.concat ", " ("native" :: List.map fst known));
+          Stdlib.exit 2)
+    targets;
+  0
+
+let ids =
+  let doc =
+    "Experiments to run: fig2..fig8, ablation-funnel-front, \
+     ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
+     'native' (real-domain sweep), or 'all' (every simulator experiment)."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let scale =
+  let doc =
+    "Scale factor on operation counts (1.0 = the paper's 60000-70000 \
+     operations).  Use 0.05-0.2 for quick shape checks."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let max_procs =
+  let doc = "Top of the processor sweep (rounded down to a power of two)." in
+  Arg.(value & opt int 256 & info [ "max-procs" ] ~docv:"N" ~doc)
+
+let quiet =
+  let doc = "Suppress per-run progress output on stderr." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let domains =
+  let doc = "Top of the domain sweep for the 'native' experiment." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc)
+
+let output =
+  let doc = "Also write each experiment's rendered text and CSV data here." in
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc =
+    "regenerate the evaluation of 'Skiplist-Based Concurrent Priority Queues'"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the paper's synthetic benchmarks on the bundled Proteus-like \
+         multiprocessor simulator and prints each figure's data in the \
+         paper's layout, followed by computed shape indicators (latency \
+         ratios and crossover points) for comparison with the published \
+         curves.";
+    ]
+  in
+  let term =
+    Term.(
+      const (fun ids scale max_procs domains output quiet ->
+          let max_procs_log2 =
+            let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+            log2 (Int.max 1 max_procs)
+          in
+          run_figures ids scale max_procs_log2 domains output quiet)
+      $ ids $ scale $ max_procs $ domains $ output $ quiet)
+  in
+  Cmd.v (Cmd.info "experiments" ~doc ~man) term
+
+let () = Stdlib.exit (Cmd.eval' cmd)

@@ -1,0 +1,78 @@
+module Make (R : Repro_runtime.Runtime_intf.S) = struct
+  type 'v bin = { lock : R.lock; items : 'v list R.shared }
+
+  type 'v t = {
+    bins : 'v bin array;
+    (* Always at or below the smallest non-empty priority.  Inserts lower
+       it under [hint_lock]; deletes never raise it (raising it could hide
+       a concurrent low insert), so it can go stale-low and scans pay for
+       it — the cost [39] eliminates with its skiplist of non-empty bins. *)
+    hint : int R.shared;
+    hint_lock : R.lock;
+  }
+
+  let create ~range () =
+    if range < 1 then invalid_arg "Bin_queue.create: empty range";
+    {
+      bins =
+        Array.init range (fun _ ->
+            { lock = R.lock_create ~name:"bin" (); items = R.shared [] });
+      hint = R.shared 0;
+      hint_lock = R.lock_create ~name:"bin-hint" ();
+    }
+
+  let insert t priority value =
+    if priority < 0 || priority >= Array.length t.bins then
+      invalid_arg "Bin_queue.insert: priority out of range";
+    let bin = t.bins.(priority) in
+    R.acquire bin.lock;
+    R.write bin.items (value :: R.read bin.items);
+    R.release bin.lock;
+    (* Lower-only hint update; the lock makes read-compare-write atomic. *)
+    if R.read t.hint > priority then begin
+      R.acquire t.hint_lock;
+      if R.read t.hint > priority then R.write t.hint priority;
+      R.release t.hint_lock
+    end
+
+  let delete_min t =
+    let range = Array.length t.bins in
+    let rec scan p =
+      if p >= range then None
+      else begin
+        let bin = t.bins.(p) in
+        (* Cheap unlocked peek: empty bins are read-shared cache lines. *)
+        if R.read bin.items = [] then scan (p + 1)
+        else begin
+          R.acquire bin.lock;
+          match R.read bin.items with
+          | [] ->
+            (* Lost the race to another deleter; keep scanning. *)
+            R.release bin.lock;
+            scan (p + 1)
+          | value :: rest ->
+            R.write bin.items rest;
+            R.release bin.lock;
+            Some (p, value)
+        end
+      end
+    in
+    scan (R.read t.hint)
+
+  let size t =
+    Array.fold_left (fun acc bin -> acc + List.length (R.read bin.items)) 0 t.bins
+
+  let check_invariants t =
+    let range = Array.length t.bins in
+    let rec first_nonempty p =
+      if p >= range then range
+      else if R.read t.bins.(p).items <> [] then p
+      else first_nonempty (p + 1)
+    in
+    let hint = R.read t.hint in
+    if hint < 0 || hint >= range then Error "hint out of range"
+    else if hint > first_nonempty 0 then
+      Error
+        (Printf.sprintf "hint %d above first non-empty bin %d" hint (first_nonempty 0))
+    else Ok ()
+end

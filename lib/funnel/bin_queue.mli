@@ -1,0 +1,41 @@
+(** Bounded-range priority queue in the style of Shavit & Zemach [39]
+    ("Concurrent Priority Queue Algorithms", PODC 1999) — the special-case
+    competitor the paper contrasts the SkipQueue against (§1.1, §2).
+
+    Priorities come from a small set [0 .. range-1] known in advance; each
+    priority has a pre-allocated {e bin} holding any number of items.  An
+    insert pushes into its priority's bin (own lock, O(1)) and lowers the
+    shared minimum hint; a Delete-min scans bins upward from the hint until
+    it pops something.  With few distinct priorities this beats any
+    comparison-based queue; with many it degenerates into a linear scan —
+    which is precisely the paper's argument for the general-range
+    SkipQueue.
+
+    Simplifications versus [39], recorded in DESIGN.md: the original
+    structures the non-empty bins with a small skiplist and adds combining
+    funnels on hot bins and a specialized delete-bin; here bins sit in a
+    flat array with a shared minimum hint, preserving the regime behaviour
+    (O(1) at small range, linear at large) without the front-end
+    machinery — the funnel front end is measured separately in ablation
+    A1. *)
+
+module Make (R : Repro_runtime.Runtime_intf.S) : sig
+  type 'v t
+
+  val create : range:int -> unit -> 'v t
+  (** [range] is the exclusive upper bound on priorities. *)
+
+  val insert : 'v t -> int -> 'v -> unit
+  (** Raises [Invalid_argument] if the priority is outside the range.
+      Duplicate priorities pile into the same bin (LIFO within a bin —
+      bins are unordered by definition of the ADT). *)
+
+  val delete_min : 'v t -> (int * 'v) option
+
+  val size : 'v t -> int
+  (** Quiescent use only. *)
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Quiescent: per-bin counts match list lengths; the minimum hint is at
+      or below the first non-empty bin. *)
+end

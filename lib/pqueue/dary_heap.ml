@@ -1,0 +1,106 @@
+module Make (K : Key.ORDERED) = struct
+  type 'v entry = { key : K.t; value : 'v }
+
+  type 'v t = {
+    arity : int;
+    mutable slots : 'v entry option array; (* 0-based *)
+    mutable size : int;
+  }
+
+  let create ?(arity = 4) ?(initial_capacity = 16) () =
+    if arity < 2 then invalid_arg "Dary_heap.create: arity < 2";
+    { arity; slots = Array.make (Int.max 1 initial_capacity) None; size = 0 }
+
+  let arity t = t.arity
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let entry t i =
+    match t.slots.(i) with
+    | Some e -> e
+    | None -> invalid_arg "Dary_heap: empty slot inside heap"
+
+  let grow t =
+    let slots = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 slots 0 t.size;
+    t.slots <- slots
+
+  let swap t i j =
+    let tmp = t.slots.(i) in
+    t.slots.(i) <- t.slots.(j);
+    t.slots.(j) <- tmp
+
+  let insert t key value =
+    if t.size >= Array.length t.slots then grow t;
+    t.slots.(t.size) <- Some { key; value };
+    t.size <- t.size + 1;
+    let i = ref (t.size - 1) in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / t.arity in
+      if K.compare (entry t !i).key (entry t parent).key < 0 then begin
+        swap t !i parent;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let peek_min t =
+    if t.size = 0 then None
+    else begin
+      let e = entry t 0 in
+      Some (e.key, e.value)
+    end
+
+  let delete_min t =
+    if t.size = 0 then None
+    else begin
+      let root = entry t 0 in
+      t.size <- t.size - 1;
+      t.slots.(0) <- t.slots.(t.size);
+      t.slots.(t.size) <- None;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let first = (!i * t.arity) + 1 in
+        if first >= t.size then continue := false
+        else begin
+          let smallest = ref first in
+          for c = first + 1 to Int.min (first + t.arity - 1) (t.size - 1) do
+            if K.compare (entry t c).key (entry t !smallest).key < 0 then smallest := c
+          done;
+          if K.compare (entry t !smallest).key (entry t !i).key < 0 then begin
+            swap t !i !smallest;
+            i := !smallest
+          end
+          else continue := false
+        end
+      done;
+      Some (root.key, root.value)
+    end
+
+  let to_sorted_list t =
+    let copy = { arity = t.arity; slots = Array.copy t.slots; size = t.size } in
+    let rec drain acc =
+      match delete_min copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+    in
+    drain []
+
+  let check_invariants t =
+    let rec check i =
+      if i >= t.size then Ok ()
+      else begin
+        let parent = (i - 1) / t.arity in
+        if i > 0 && K.compare (entry t parent).key (entry t i).key > 0 then
+          Error (Printf.sprintf "heap order violated at slot %d" i)
+        else check (i + 1)
+      end
+    in
+    let rec check_empty i =
+      if i >= Array.length t.slots then Ok ()
+      else if t.slots.(i) <> None then
+        Error (Printf.sprintf "slot %d beyond size %d is occupied" i t.size)
+      else check_empty (i + 1)
+    in
+    match check 0 with Ok () -> check_empty t.size | Error _ as e -> e
+end

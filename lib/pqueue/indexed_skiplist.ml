@@ -1,0 +1,249 @@
+module Make (K : Key.ORDERED) = struct
+  (* Like [Seq_skiplist] but every pointer carries a width: the number of
+     bottom-level steps it jumps.  Positions are 1-based with the head at
+     0 and the end-of-list at [length + 1]; the widths out of any node
+     therefore chain up to exactly the distance to the end. *)
+
+  type 'v node =
+    | Nil
+    | Node of {
+        key : K.t;
+        mutable value : 'v;
+        forward : 'v node array;
+        width : int array;
+      }
+
+  type 'v t = {
+    head_forward : 'v node array; (* [Nil] in the update arrays = head *)
+    head_width : int array;
+    mutable level : int;
+    mutable length : int;
+    rng : Repro_util.Rng.t;
+    p : float;
+    max_level : int;
+  }
+
+  let create ?(seed = 0xC00C1EL) ?(p = 0.5) ?(max_level = 32) () =
+    if p <= 0.0 || p >= 1.0 then invalid_arg "Indexed_skiplist.create: p outside (0, 1)";
+    if max_level < 1 then invalid_arg "Indexed_skiplist.create: max_level < 1";
+    {
+      head_forward = Array.make max_level Nil;
+      head_width = Array.make max_level 1; (* head -> end over an empty list *)
+      level = 1;
+      length = 0;
+      rng = Repro_util.Rng.of_seed seed;
+      p;
+      max_level;
+    }
+
+  let length t = t.length
+  let is_empty t = t.length = 0
+
+  let fwd t node i =
+    match node with Nil -> t.head_forward.(i) | Node n -> n.forward.(i)
+
+  let wid t node i =
+    match node with Nil -> t.head_width.(i) | Node n -> n.width.(i)
+
+  let set_fwd t node i v =
+    match node with Nil -> t.head_forward.(i) <- v | Node n -> n.forward.(i) <- v
+
+  let set_wid t node i v =
+    match node with Nil -> t.head_width.(i) <- v | Node n -> n.width.(i) <- v
+
+  (* Walk recording, per level, the rightmost node with key < [key] and
+     its position. *)
+  let find_update t key =
+    let update = Array.make t.max_level Nil in
+    let upos = Array.make t.max_level 0 in
+    let node = ref Nil in
+    let pos = ref 0 in
+    for i = t.level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        match fwd t !node i with
+        | Node n when K.compare n.key key < 0 ->
+          pos := !pos + wid t !node i;
+          node := fwd t !node i
+        | Nil | Node _ -> continue := false
+      done;
+      update.(i) <- !node;
+      upos.(i) <- !pos
+    done;
+    (update, upos)
+
+  let insert t key value =
+    let update, upos = find_update t key in
+    match fwd t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 ->
+      n.value <- value;
+      `Updated
+    | Nil | Node _ ->
+      let level = Repro_util.Rng.geometric_level t.rng ~p:t.p ~max_level:t.max_level in
+      if level > t.level then t.level <- level;
+      let ins_pos = upos.(0) + 1 in
+      let node =
+        Node { key; value; forward = Array.make level Nil; width = Array.make level 0 }
+      in
+      for i = 0 to level - 1 do
+        set_fwd t node i (fwd t update.(i) i);
+        (* distance from the new node to the old successor at this level *)
+        set_wid t node i (upos.(i) + wid t update.(i) i - ins_pos + 1);
+        set_fwd t update.(i) i node;
+        set_wid t update.(i) i (ins_pos - upos.(i))
+      done;
+      (* Levels the node does not reach just got one node longer. *)
+      for i = level to t.max_level - 1 do
+        set_wid t update.(i) i (wid t update.(i) i + 1)
+      done;
+      t.length <- t.length + 1;
+      `Inserted
+
+  let find t key =
+    let update, _ = find_update t key in
+    match fwd t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 -> Some n.value
+    | Nil | Node _ -> None
+
+  let shrink_level t =
+    while t.level > 1 && t.head_forward.(t.level - 1) = Nil do
+      t.level <- t.level - 1
+    done
+
+  let delete t key =
+    let update, _ = find_update t key in
+    match fwd t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 ->
+      let victim = fwd t update.(0) 0 in
+      let height = Array.length n.forward in
+      for i = 0 to t.max_level - 1 do
+        if i < height && fwd t update.(i) i == victim then begin
+          set_wid t update.(i) i (wid t update.(i) i + n.width.(i) - 1);
+          set_fwd t update.(i) i n.forward.(i)
+        end
+        else set_wid t update.(i) i (wid t update.(i) i - 1)
+      done;
+      t.length <- t.length - 1;
+      shrink_level t;
+      Some n.value
+    | Nil | Node _ -> None
+
+  let peek_min t =
+    match t.head_forward.(0) with Nil -> None | Node n -> Some (n.key, n.value)
+
+  let delete_min t =
+    match peek_min t with
+    | None -> None
+    | Some (k, _) as binding ->
+      ignore (delete t k);
+      binding
+
+  let nth t i =
+    if i < 0 || i >= t.length then None
+    else begin
+      let target = i + 1 in
+      let node = ref Nil in
+      let pos = ref 0 in
+      for lvl = t.level - 1 downto 0 do
+        while !pos + wid t !node lvl <= target do
+          pos := !pos + wid t !node lvl;
+          node := fwd t !node lvl
+        done
+      done;
+      match !node with
+      | Node n -> Some (n.key, n.value)
+      | Nil -> None (* unreachable: target <= length *)
+    end
+
+  let count_less t key =
+    let _, upos = find_update t key in
+    upos.(0)
+
+  let rank t key =
+    let update, upos = find_update t key in
+    match fwd t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 -> Some upos.(0)
+    | Nil | Node _ -> None
+
+  let range t ~lo ~hi =
+    let update, _ = find_update t lo in
+    let rec collect acc node =
+      match node with
+      | Node n when K.compare n.key hi <= 0 ->
+        collect ((n.key, n.value) :: acc) n.forward.(0)
+      | Nil | Node _ -> List.rev acc
+    in
+    collect [] (fwd t update.(0) 0)
+
+  let delete_nth t i =
+    match nth t i with
+    | None -> None
+    | Some (k, _) as binding ->
+      ignore (delete t k);
+      binding
+
+  let merge dst src =
+    let rec drain () =
+      match delete_min src with
+      | None -> ()
+      | Some (k, v) ->
+        ignore (insert dst k v);
+        drain ()
+    in
+    drain ()
+
+  let to_list t =
+    let rec go acc = function
+      | Nil -> List.rev acc
+      | Node n -> go ((n.key, n.value) :: acc) n.forward.(0)
+    in
+    go [] t.head_forward.(0)
+
+  let of_list ?seed bindings =
+    let t = create ?seed () in
+    List.iter (fun (k, v) -> ignore (insert t k v)) bindings;
+    t
+
+  let check_invariants t =
+    let ( let* ) = Result.bind in
+    let module M = Map.Make (K) in
+    (* positions from a bottom-level walk; keys are unique so they index
+       nodes faithfully *)
+    let rec assign pos acc = function
+      | Nil -> (pos - 1, acc)
+      | Node n -> assign (pos + 1) (M.add n.key pos acc) n.forward.(0)
+    in
+    let count, positions = assign 1 M.empty t.head_forward.(0) in
+    let* () =
+      if count = t.length then Ok ()
+      else Error (Printf.sprintf "length mismatch: stored %d, actual %d" t.length count)
+    in
+    let rec sorted = function
+      | Node n -> (
+        match n.forward.(0) with
+        | Node m when K.compare n.key m.key >= 0 -> Error "not strictly ascending"
+        | next -> sorted next)
+      | Nil -> Ok ()
+    in
+    let* () = sorted t.head_forward.(0) in
+    let pos_of = function
+      | Nil -> t.length + 1
+      | Node n -> ( match M.find_opt n.key positions with Some p -> p | None -> -1000)
+    in
+    let rec check_level i node =
+      let next = fwd t node i in
+      let expected = pos_of next - (match node with Nil -> 0 | _ -> pos_of node) in
+      if wid t node i <> expected then
+        Error
+          (Printf.sprintf "width mismatch at level %d: stored %d, actual %d" (i + 1)
+             (wid t node i) expected)
+      else match next with Nil -> Ok () | Node _ -> check_level i next
+    in
+    let rec check_levels i =
+      if i >= t.max_level then Ok ()
+      else
+        let* () = check_level i Nil in
+        check_levels (i + 1)
+    in
+    check_levels 0
+end

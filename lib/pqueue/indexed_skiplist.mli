@@ -1,0 +1,55 @@
+(** Indexable sequential skiplist (Pugh, "A Skip List Cookbook", 1990).
+
+    The paper's footnote 1 points out that skiplist priority queues can
+    support operations heaps cannot — merging and searching for the k-th
+    item — citing Pugh's cookbook.  This module implements those
+    extensions in the sequential setting: every forward pointer carries a
+    {e width} (how many bottom-level nodes it skips), giving O(log n)
+    positional access and rank queries on top of the ordinary ordered-map
+    operations. *)
+
+module Make (K : Key.ORDERED) : sig
+  type 'v t
+
+  val create : ?seed:int64 -> ?p:float -> ?max_level:int -> unit -> 'v t
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> [ `Inserted | `Updated ]
+  val find : 'v t -> K.t -> 'v option
+  val delete : 'v t -> K.t -> 'v option
+  val delete_min : 'v t -> (K.t * 'v) option
+  val peek_min : 'v t -> (K.t * 'v) option
+
+  val nth : 'v t -> int -> (K.t * 'v) option
+  (** [nth t i] is the [i]-th smallest binding (0-based), in O(log n). *)
+
+  val rank : 'v t -> K.t -> int option
+  (** [rank t k] is the 0-based position of [k], in O(log n);
+      [nth t (Option.get (rank t k))] returns [k]'s binding. *)
+
+  val count_less : 'v t -> K.t -> int
+  (** Number of keys strictly smaller than [k] (defined for absent keys
+      too). *)
+
+  val range : 'v t -> lo:K.t -> hi:K.t -> (K.t * 'v) list
+  (** Bindings with [lo <= key <= hi], ascending; O(log n + answer). *)
+
+  val delete_nth : 'v t -> int -> (K.t * 'v) option
+  (** Remove the [i]-th smallest binding — the "k-th item" operation of
+      the cookbook. *)
+
+  val merge : 'v t -> 'v t -> unit
+  (** [merge dst src] moves every binding of [src] into [dst] (values of
+      duplicate keys come from [src], matching update-in-place); [src] is
+      emptied.  O(|src| log |dst|). *)
+
+  val to_list : 'v t -> (K.t * 'v) list
+  val of_list : ?seed:int64 -> (K.t * 'v) list -> 'v t
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Ordinary skiplist invariants plus: every pointer's width equals the
+      number of bottom-level nodes it jumps over, and the widths out of
+      the head at each level sum to [length + 1] when chained to the
+      end. *)
+end

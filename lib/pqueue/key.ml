@@ -1,0 +1,36 @@
+(** Ordered key types for priority queues.
+
+    Smaller keys are higher priority throughout the repository, matching
+    the paper's Delete-min. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int : ORDERED with type t = int = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module Float : ORDERED with type t = float = struct
+  type t = float
+
+  let compare = Float.compare
+  let pp ppf v = Format.fprintf ppf "%g" v
+end
+
+(** Lexicographic pairs; the simulator keys its event queue by
+    [(time, sequence)] to break ties deterministically. *)
+module Int_pair : ORDERED with type t = int * int = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+  let pp ppf (a, b) = Format.fprintf ppf "(%d, %d)" a b
+end

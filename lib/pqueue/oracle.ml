@@ -1,0 +1,286 @@
+module Make (K : Key.ORDERED) = struct
+  type op =
+    | Insert of { key : K.t; id : int }
+    | Delete_min of { result : (K.t * int) option }
+
+  type event = { proc : int; op : op; invoked : int; responded : int }
+
+  let pp_id ppf (key, id) = Format.fprintf ppf "%a#%d" K.pp key id
+
+  module Int_map = Map.Make (Int)
+
+  let check_well_formed events =
+    let ( let* ) = Result.bind in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          if e.invoked > e.responded then
+            Error (Printf.sprintf "proc %d: response precedes invocation" e.proc)
+          else Ok ())
+        (Ok ()) events
+    in
+    (* Per-processor operations must not overlap: sort each processor's
+       events by invocation and require responded(i) <= invoked(i+1). *)
+    let by_proc =
+      List.fold_left
+        (fun m e ->
+          Int_map.update e.proc
+            (function None -> Some [ e ] | Some es -> Some (e :: es))
+            m)
+        Int_map.empty events
+    in
+    let* () =
+      Int_map.fold
+        (fun proc es acc ->
+          let* () = acc in
+          let sorted = List.sort (fun a b -> compare a.invoked b.invoked) es in
+          let rec no_overlap = function
+            | a :: (b :: _ as rest) ->
+              if a.responded > b.invoked then
+                Error (Printf.sprintf "proc %d: overlapping operations" proc)
+              else no_overlap rest
+            | [] | [ _ ] -> Ok ()
+          in
+          no_overlap sorted)
+        by_proc (Ok ())
+    in
+    (* Unique insert ids; no id deleted twice; deleted key matches its
+       insert's key when the insert is in the history. *)
+    let inserts = Hashtbl.create 64 in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          match e.op with
+          | Insert { key; id } ->
+            if Hashtbl.mem inserts id then
+              Error (Printf.sprintf "insert id %d duplicated" id)
+            else begin
+              Hashtbl.add inserts id key;
+              Ok ()
+            end
+          | Delete_min _ -> Ok ())
+        (Ok ()) events
+    in
+    let deleted = Hashtbl.create 64 in
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        match e.op with
+        | Insert _ -> Ok ()
+        | Delete_min { result = None } -> Ok ()
+        | Delete_min { result = Some (key, id) } ->
+          if Hashtbl.mem deleted id then
+            Error (Format.asprintf "element %a deleted twice" pp_id (key, id))
+          else begin
+            Hashtbl.add deleted id ();
+            match Hashtbl.find_opt inserts id with
+            | Some k when K.compare k key <> 0 ->
+              Error (Format.asprintf "element %a deleted with wrong key" pp_id (key, id))
+            | Some _ | None -> Ok ()
+          end)
+      (Ok ()) events
+
+  let check_conservation ~initial ~drained events =
+    let module S = Set.Make (struct
+      type t = K.t * int
+
+      let compare (k1, i1) (k2, i2) =
+        match K.compare k1 k2 with 0 -> Int.compare i1 i2 | c -> c
+    end) in
+    let inserted =
+      List.fold_left
+        (fun s e -> match e.op with Insert { key; id } -> S.add (key, id) s | _ -> s)
+        (S.of_list initial) events
+    in
+    let deleted =
+      List.fold_left
+        (fun s e ->
+          match e.op with
+          | Delete_min { result = Some (key, id) } -> S.add (key, id) s
+          | _ -> s)
+        (S.of_list drained) events
+    in
+    if not (S.subset deleted inserted) then
+      Error
+        (Format.asprintf "element %a came out but never went in" pp_id
+           (S.min_elt (S.diff deleted inserted)))
+    else if not (S.subset inserted deleted) then
+      Error
+        (Format.asprintf "element %a went in but never came out" pp_id
+           (S.min_elt (S.diff inserted deleted)))
+    else begin
+      (* The drain at the end must be sorted (it empties the queue with
+         successive delete_mins on a quiescent structure). *)
+      let rec sorted = function
+        | (k1, _) :: ((k2, _) :: _ as rest) ->
+          if K.compare k1 k2 > 0 then Error "final drain not in ascending key order"
+          else sorted rest
+        | [] | [ _ ] -> Ok ()
+      in
+      sorted drained
+    end
+
+  (* Core conservative condition shared by both specifications.
+
+     For a delete [d] and an element [y]: if [y]'s insert responded before
+     [d] was invoked ([y] is fully inserted, so it is in the paper's set I
+     for [d]), and no delete that could be serialized before [d] (i.e. one
+     invoked before [d] responded) removed [y], then [y] is in I - D for
+     *every* admissible serialization, and [d] must return a key <= key(y)
+     — in particular, not EMPTY. *)
+  let check_no_better_available events =
+    let deletes_by_id = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        match e.op with
+        | Delete_min { result = Some (_, id) } -> Hashtbl.add deletes_by_id id e
+        | _ -> ())
+      events;
+    let violates d =
+      let d_key = match d.op with
+        | Delete_min { result = Some (k, _) } -> Some k
+        | Delete_min { result = None } -> None
+        | Insert _ -> assert false
+      in
+      List.find_map
+        (fun e ->
+          match e.op with
+          | Insert { key = y_key; id = y_id } when e.responded < d.invoked ->
+            let taken_before_d =
+              match Hashtbl.find_opt deletes_by_id y_id with
+              | Some d' -> d'.invoked < d.responded
+              | None -> false
+            in
+            if taken_before_d then None
+            else begin
+              match d_key with
+              | None ->
+                Some
+                  (Format.asprintf
+                     "Delete-min returned EMPTY while %a was available" pp_id
+                     (y_key, y_id))
+              | Some k when K.compare k y_key > 0 ->
+                Some
+                  (Format.asprintf
+                     "Delete-min returned %a while smaller %a was available"
+                     K.pp k pp_id (y_key, y_id))
+              | Some _ -> None
+            end
+          | Insert _ | Delete_min _ -> None)
+        events
+    in
+    List.fold_left
+      (fun acc e ->
+        match (acc, e.op) with
+        | Error _, _ -> acc
+        | Ok (), Delete_min _ -> (
+          match violates e with None -> Ok () | Some msg -> Error msg)
+        | Ok (), Insert _ -> acc)
+      (Ok ()) events
+
+  let check_relaxed events = check_no_better_available events
+
+  let check_strict_exhaustive ?(max_deletes = 12) events =
+    let deletes =
+      List.filter (fun e -> match e.op with Delete_min _ -> true | Insert _ -> false)
+        events
+    in
+    if List.length deletes > max_deletes then
+      Error
+        (Printf.sprintf
+           "check_strict_exhaustive: %d deletes exceed the search bound %d"
+           (List.length deletes) max_deletes)
+    else begin
+      let inserts =
+        List.filter_map
+          (fun e ->
+            match e.op with
+            | Insert { key; id } -> Some (key, id, e)
+            | Delete_min _ -> None)
+          events
+      in
+      let module Int_set = Set.Make (Int) in
+      (* [feasible remaining consumed]: can the remaining deletes be
+         serialized?  [consumed] is the set of element ids removed by
+         deletes already serialized. *)
+      let rec feasible remaining consumed =
+        match remaining with
+        | [] -> true
+        | _ ->
+          List.exists
+            (fun d ->
+              (* d may come next only if no other remaining delete wholly
+                 precedes it in real time *)
+              let must_wait =
+                List.exists (fun d' -> d' != d && d'.responded < d.invoked) remaining
+              in
+              if must_wait then false
+              else begin
+                (* elements certainly present when d runs: fully inserted
+                   before d's invocation and not yet consumed *)
+                let definitely_available =
+                  List.filter_map
+                    (fun (key, id, ins) ->
+                      if ins.responded < d.invoked && not (Int_set.mem id consumed)
+                      then Some key
+                      else None)
+                    inserts
+                in
+                let ok =
+                  match d.op with
+                  | Delete_min { result = None } -> definitely_available = []
+                  | Delete_min { result = Some (k, id) } ->
+                    (not (Int_set.mem id consumed))
+                    && List.exists
+                         (fun (_, id', ins) -> id' = id && ins.invoked < d.responded)
+                         inserts
+                    && List.for_all (fun y -> K.compare k y <= 0) definitely_available
+                  | Insert _ -> false
+                in
+                ok
+                &&
+                let consumed' =
+                  match d.op with
+                  | Delete_min { result = Some (_, id) } -> Int_set.add id consumed
+                  | Delete_min { result = None } | Insert _ -> consumed
+                in
+                feasible (List.filter (fun d' -> d' != d) remaining) consumed'
+              end)
+            remaining
+      in
+      if feasible deletes Int_set.empty then Ok ()
+      else Error "no Definition-1 serialization of the Delete-mins exists"
+    end
+
+  let check_strict events =
+    match check_no_better_available events with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Additionally: a returned element's insert must at least have begun
+         before the delete responded (with timestamps it must even have
+         completed before the delete's clock read; the interval version is
+         the strongest sound external check). *)
+      let inserts_by_id = Hashtbl.create 64 in
+      List.iter
+        (fun e ->
+          match e.op with
+          | Insert { id; _ } -> Hashtbl.add inserts_by_id id e
+          | Delete_min _ -> ())
+        events;
+      List.fold_left
+        (fun acc e ->
+          match (acc, e.op) with
+          | Error _, _ -> acc
+          | Ok (), Delete_min { result = Some (key, id) } -> (
+            match Hashtbl.find_opt inserts_by_id id with
+            | Some ins when ins.invoked > e.responded ->
+              Error
+                (Format.asprintf
+                   "element %a returned before its insert was invoked" pp_id
+                   (key, id))
+            | Some _ | None -> Ok ())
+          | Ok (), (Insert _ | Delete_min { result = None }) -> acc)
+        (Ok ()) events
+end

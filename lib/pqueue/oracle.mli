@@ -1,0 +1,62 @@
+(** History checker for concurrent priority-queue executions.
+
+    Stress tests record one {!Make.event} per completed operation, with
+    invocation and response timestamps taken from the runtime clock, and
+    this module validates the run:
+
+    - {!Make.check_conservation}: no element is lost, duplicated, or
+      invented — (initial + inserted) = (deleted + drained-at-end), as
+      multisets of unique element ids.
+    - {!Make.check_strict}: a conservative necessary condition for the
+      paper's Definition 1 — if an element [y] was completely inserted
+      before a Delete-min [d] was invoked, and no Delete-min that could
+      precede [d] in any serialization removed [y], then [d] must not
+      return an element larger than [y] (and must not return EMPTY).
+    - {!Make.check_relaxed}: the weaker condition of the relaxed SkipQueue
+      (§5.4) — the returned element must be [min (I - D)] or a smaller
+      element inserted concurrently; this check validates everything
+      {!Make.check_strict} does except that concurrent inserts may also
+      supply the answer.
+
+    All checks are sound (a reported violation is a real violation) and
+    deliberately incomplete where full linearizability checking would be
+    NP-hard. *)
+
+module Make (K : Key.ORDERED) : sig
+  type op =
+    | Insert of { key : K.t; id : int }
+        (** [id] uniquely identifies the element across the whole run
+            (the paper assumes unique values w.l.o.g.). *)
+    | Delete_min of { result : (K.t * int) option }
+        (** [None] means the operation returned EMPTY. *)
+
+  type event = { proc : int; op : op; invoked : int; responded : int }
+
+  val check_conservation :
+    initial:(K.t * int) list ->
+    drained:(K.t * int) list ->
+    event list ->
+    (unit, string) result
+  (** [drained] is everything removed from the structure after all
+      processors stopped (must also come out in ascending key order). *)
+
+  val check_strict : event list -> (unit, string) result
+  val check_relaxed : event list -> (unit, string) result
+
+  val check_well_formed : event list -> (unit, string) result
+  (** Per-event sanity: [invoked <= responded]; per-processor operations do
+      not overlap; insert ids unique; no element deleted twice. *)
+
+  val check_strict_exhaustive : ?max_deletes:int -> event list -> (unit, string) result
+  (** Exhaustive Definition-1 check for small histories: searches for a
+      serialization of the Delete-min operations, consistent with their
+      real-time order, in which every delete returns a minimal
+      definitely-available element (or EMPTY when none is) given the
+      elements consumed by the deletes serialized before it.  Unlike
+      {!check_strict} the consumed set is globally consistent across the
+      chosen order.  Still conservative at operation boundaries (an
+      element whose insert overlaps the delete is treated as optional).
+      Histories with more than [max_deletes] (default 12) Delete-mins are
+      rejected with an error asking for a smaller history (the search is
+      factorial). *)
+end

@@ -1,0 +1,55 @@
+module Make (K : Key.ORDERED) = struct
+  type 'v tree = Tree of K.t * 'v * 'v tree list
+  type 'v t = { root : 'v tree option; size : int }
+
+  let empty = { root = None; size = 0 }
+  let is_empty t = t.root = None
+  let length t = t.size
+
+  let meld (Tree (k1, v1, c1) as t1) (Tree (k2, v2, c2) as t2) =
+    if K.compare k1 k2 <= 0 then Tree (k1, v1, t2 :: c1) else Tree (k2, v2, t1 :: c2)
+
+  let insert t key value =
+    let singleton = Tree (key, value, []) in
+    let root =
+      match t.root with None -> singleton | Some r -> meld r singleton
+    in
+    { root = Some root; size = t.size + 1 }
+
+  let peek_min t =
+    match t.root with None -> None | Some (Tree (k, v, _)) -> Some (k, v)
+
+  (* Two-pass pairing: meld adjacent pairs left-to-right, then fold the
+     results right-to-left. *)
+  let rec merge_pairs = function
+    | [] -> None
+    | [ tree ] -> Some tree
+    | t1 :: t2 :: rest -> (
+      let paired = meld t1 t2 in
+      match merge_pairs rest with
+      | None -> Some paired
+      | Some rest_tree -> Some (meld paired rest_tree))
+
+  let delete_min t =
+    match t.root with
+    | None -> None
+    | Some (Tree (k, v, children)) ->
+      Some ((k, v), { root = merge_pairs children; size = t.size - 1 })
+
+  let merge a b =
+    match (a.root, b.root) with
+    | None, _ -> b
+    | _, None -> a
+    | Some ra, Some rb -> { root = Some (meld ra rb); size = a.size + b.size }
+
+  let of_list bindings =
+    List.fold_left (fun t (k, v) -> insert t k v) empty bindings
+
+  let to_sorted_list t =
+    let rec drain t acc =
+      match delete_min t with
+      | None -> List.rev acc
+      | Some (binding, rest) -> drain rest (binding :: acc)
+    in
+    drain t []
+end

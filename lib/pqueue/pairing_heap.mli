@@ -1,0 +1,21 @@
+(** Persistent pairing heap.
+
+    A purely functional priority queue: a third sequential baseline for the
+    microbenchmarks and a convenient oracle for property tests (structural
+    sharing makes snapshotting free). *)
+
+module Make (K : Key.ORDERED) : sig
+  type 'v t
+
+  val empty : 'v t
+  val is_empty : 'v t -> bool
+  val length : 'v t -> int
+
+  val insert : 'v t -> K.t -> 'v -> 'v t
+  val peek_min : 'v t -> (K.t * 'v) option
+  val delete_min : 'v t -> ((K.t * 'v) * 'v t) option
+  val merge : 'v t -> 'v t -> 'v t
+
+  val of_list : (K.t * 'v) list -> 'v t
+  val to_sorted_list : 'v t -> (K.t * 'v) list
+end

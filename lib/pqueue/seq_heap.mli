@@ -1,0 +1,26 @@
+(** Sequential array-based binary min-heap.
+
+    Single-threaded counterpart of the Hunt et al. concurrent heap, the
+    event queue of the Proteus-like simulator, and a single-threaded
+    baseline in the microbenchmarks.  Grows automatically. *)
+
+module Make (K : Key.ORDERED) : sig
+  type 'v t
+
+  val create : ?initial_capacity:int -> unit -> 'v t
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> unit
+  (** Duplicate keys are allowed (unlike the skiplist, which follows the
+      paper's update-in-place semantics); ties are broken arbitrarily. *)
+
+  val peek_min : 'v t -> (K.t * 'v) option
+  val delete_min : 'v t -> (K.t * 'v) option
+
+  val to_sorted_list : 'v t -> (K.t * 'v) list
+  (** Non-destructive; ascending key order. *)
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Verifies the heap order: every parent's key <= its children's. *)
+end

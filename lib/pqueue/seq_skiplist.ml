@@ -1,0 +1,174 @@
+module Make (K : Key.ORDERED) = struct
+  type 'v node =
+    | Nil
+    | Node of { key : K.t; mutable value : 'v; forward : 'v node array }
+
+  type 'v t = {
+    head : 'v node array; (* head.(i) = first node of level i+1's list *)
+    mutable level : int; (* highest level currently in use, >= 1 *)
+    mutable length : int;
+    rng : Repro_util.Rng.t;
+    p : float;
+    max_level : int;
+  }
+
+  let create ?(seed = 0xC0FFEEL) ?(p = 0.5) ?(max_level = 32) () =
+    if p <= 0.0 || p >= 1.0 then invalid_arg "Seq_skiplist.create: p outside (0, 1)";
+    if max_level < 1 then invalid_arg "Seq_skiplist.create: max_level < 1";
+    {
+      head = Array.make max_level Nil;
+      level = 1;
+      length = 0;
+      rng = Repro_util.Rng.of_seed seed;
+      p;
+      max_level;
+    }
+
+  let length t = t.length
+  let is_empty t = t.length = 0
+
+  (* Returns the rightmost node at each level whose key is < [key]; the head
+     array stands in for a head node (level index i lives at slot i-1). *)
+  let find_predecessors t key update =
+    let rec descend i node =
+      if i < 0 then ()
+      else begin
+        let next = match node with Nil -> t.head.(i) | Node n -> n.forward.(i) in
+        match next with
+        | Node n when K.compare n.key key < 0 -> descend i next
+        | Nil | Node _ ->
+          update.(i) <- node;
+          descend (i - 1) node
+      end
+    in
+    descend (t.level - 1) Nil
+
+  let set_forward t pred i succ =
+    match pred with
+    | Nil -> t.head.(i) <- succ
+    | Node n -> n.forward.(i) <- succ
+
+  let get_forward t pred i =
+    match pred with Nil -> t.head.(i) | Node n -> n.forward.(i)
+
+  let insert t key value =
+    let update = Array.make t.max_level Nil in
+    find_predecessors t key update;
+    let candidate = get_forward t update.(0) 0 in
+    match candidate with
+    | Node n when K.compare n.key key = 0 ->
+      n.value <- value;
+      `Updated
+    | Nil | Node _ ->
+      let level = Repro_util.Rng.geometric_level t.rng ~p:t.p ~max_level:t.max_level in
+      if level > t.level then begin
+        (* Levels above the old top have the head as predecessor. *)
+        for i = t.level to level - 1 do
+          update.(i) <- Nil
+        done;
+        t.level <- level
+      end;
+      let node = Node { key; value; forward = Array.make level Nil } in
+      for i = 0 to level - 1 do
+        set_forward t node i (get_forward t update.(i) i);
+        set_forward t update.(i) i node
+      done;
+      t.length <- t.length + 1;
+      `Inserted
+
+  let find t key =
+    let update = Array.make t.max_level Nil in
+    find_predecessors t key update;
+    match get_forward t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 -> Some n.value
+    | Nil | Node _ -> None
+
+  let mem t key = Option.is_some (find t key)
+
+  let shrink_level t =
+    while t.level > 1 && t.head.(t.level - 1) = Nil do
+      t.level <- t.level - 1
+    done
+
+  let delete t key =
+    let update = Array.make t.max_level Nil in
+    find_predecessors t key update;
+    match get_forward t update.(0) 0 with
+    | Node n when K.compare n.key key = 0 ->
+      let height = Array.length n.forward in
+      for i = 0 to height - 1 do
+        set_forward t update.(i) i n.forward.(i)
+      done;
+      t.length <- t.length - 1;
+      shrink_level t;
+      Some n.value
+    | Nil | Node _ -> None
+
+  let peek_min t =
+    match t.head.(0) with Nil -> None | Node n -> Some (n.key, n.value)
+
+  let delete_min t =
+    match t.head.(0) with
+    | Nil -> None
+    | Node n ->
+      let height = Array.length n.forward in
+      for i = 0 to height - 1 do
+        t.head.(i) <- n.forward.(i)
+      done;
+      t.length <- t.length - 1;
+      shrink_level t;
+      Some (n.key, n.value)
+
+  let fold f acc t =
+    let rec go acc node =
+      match node with Nil -> acc | Node n -> go (f acc n.key n.value) n.forward.(0)
+    in
+    go acc t.head.(0)
+
+  let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+  let of_list ?seed bindings =
+    let t = create ?seed () in
+    List.iter (fun (k, v) -> ignore (insert t k v)) bindings;
+    t
+
+  let check_invariants t =
+    let ( let* ) = Result.bind in
+    (* Bottom level strictly ascending and consistent with [length]. *)
+    let rec check_sorted node count =
+      match node with
+      | Nil -> Ok count
+      | Node n -> (
+        match n.forward.(0) with
+        | Node m when K.compare n.key m.key >= 0 ->
+          Error
+            (Format.asprintf "bottom level not strictly ascending at %a" K.pp n.key)
+        | Nil | Node _ -> check_sorted n.forward.(0) (count + 1))
+    in
+    let* count = check_sorted t.head.(0) 0 in
+    let* () =
+      if count = t.length then Ok ()
+      else Error (Printf.sprintf "length mismatch: stored %d, actual %d" t.length count)
+    in
+    (* Every level-i node appears in level i-1's list, in the same order.
+       [upper] walks the level-i list, [lower] the level-(i-1) list. *)
+    let rec sublist i upper lower =
+      match upper with
+      | Nil -> Ok ()
+      | Node un -> (
+        match lower with
+        | Nil -> Error (Printf.sprintf "level %d node missing from level %d" (i + 1) i)
+        | Node ln ->
+          let c = K.compare un.key ln.key in
+          if c = 0 then sublist i un.forward.(i) ln.forward.(i - 1)
+          else if c > 0 then sublist i upper ln.forward.(i - 1)
+          else Error (Printf.sprintf "level %d node missing from level %d" (i + 1) i))
+    in
+    let rec check_levels i =
+      if i >= t.level then Ok ()
+      else
+        let* () = sublist i t.head.(i) t.head.(i - 1) in
+        check_levels (i + 1)
+    in
+    check_levels 1
+end

@@ -1,0 +1,42 @@
+(** Sequential skiplist (Pugh 1990).
+
+    Single-threaded counterpart of the concurrent SkipQueue: the same node
+    layout and search routine without locks.  Used as the correctness
+    oracle for the concurrent version, as a single-threaded baseline in the
+    microbenchmarks, and by the quickstart example. *)
+
+module Make (K : Key.ORDERED) : sig
+  type 'v t
+
+  val create : ?seed:int64 -> ?p:float -> ?max_level:int -> unit -> 'v t
+  (** [p] is the level-promotion probability (default 0.5, the paper's
+      choice); [max_level] bounds node height (default 32). *)
+
+  val length : 'v t -> int
+  val is_empty : 'v t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> [ `Inserted | `Updated ]
+  (** Inserts or, when the key is already present, overwrites its value —
+      the paper's Insert semantics (Fig. 10 line 12-15). *)
+
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val delete : 'v t -> K.t -> 'v option
+  (** Removes the key, returning its value if it was present. *)
+
+  val delete_min : 'v t -> (K.t * 'v) option
+  (** Removes and returns the smallest binding, or [None] when empty. *)
+
+  val peek_min : 'v t -> (K.t * 'v) option
+
+  val fold : ('acc -> K.t -> 'v -> 'acc) -> 'acc -> 'v t -> 'acc
+  (** In ascending key order. *)
+
+  val to_list : 'v t -> (K.t * 'v) list
+  val of_list : ?seed:int64 -> (K.t * 'v) list -> 'v t
+
+  val check_invariants : 'v t -> (unit, string) result
+  (** Verifies: bottom-level keys strictly ascending; every level-[i] list a
+      sublist of level-[i-1]; length consistent with the bottom level. *)
+end

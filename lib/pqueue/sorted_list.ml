@@ -1,0 +1,79 @@
+module Make (K : Key.ORDERED) = struct
+  type 'v node = Nil | Node of { key : K.t; value : 'v; mutable next : 'v node }
+  type 'v t = { mutable first : 'v node; mutable length : int }
+
+  let create () = { first = Nil; length = 0 }
+  let length t = t.length
+  let is_empty t = t.length = 0
+
+  let insert t key value =
+    let node = Node { key; value; next = Nil } in
+    let rec splice prev current =
+      match current with
+      | Node n when K.compare n.key key <= 0 -> splice current n.next
+      | Nil | Node _ -> (
+        match node with
+        | Node fresh -> (
+          fresh.next <- current;
+          match prev with Nil -> t.first <- node | Node p -> p.next <- node)
+        | Nil -> assert false)
+    in
+    splice Nil t.first;
+    t.length <- t.length + 1
+
+  let peek_min t =
+    match t.first with Nil -> None | Node n -> Some (n.key, n.value)
+
+  let delete_min t =
+    match t.first with
+    | Nil -> None
+    | Node n ->
+      t.first <- n.next;
+      t.length <- t.length - 1;
+      Some (n.key, n.value)
+
+  let delete_min_batch t n =
+    let rec take k acc =
+      if k = 0 then List.rev acc
+      else
+        match delete_min t with
+        | None -> List.rev acc
+        | Some binding -> take (k - 1) (binding :: acc)
+    in
+    take n []
+
+  let insert_batch t bindings =
+    (* One merge pass: sort the batch, then weave it into the list. *)
+    let sorted = List.sort (fun (k1, _) (k2, _) -> K.compare k1 k2) bindings in
+    let rec weave prev current = function
+      | [] -> ()
+      | (key, value) :: rest -> (
+        match current with
+        | Node n when K.compare n.key key <= 0 -> weave current n.next ((key, value) :: rest)
+        | Nil | Node _ ->
+          let node = Node { key; value; next = current } in
+          (match prev with Nil -> t.first <- node | Node p -> p.next <- node);
+          t.length <- t.length + 1;
+          weave node current rest)
+    in
+    weave Nil t.first sorted
+
+  let to_list t =
+    let rec go acc = function
+      | Nil -> List.rev acc
+      | Node n -> go ((n.key, n.value) :: acc) n.next
+    in
+    go [] t.first
+
+  let check_invariants t =
+    let rec go count = function
+      | Nil ->
+        if count = t.length then Ok ()
+        else Error (Printf.sprintf "length mismatch: stored %d, actual %d" t.length count)
+      | Node n -> (
+        match n.next with
+        | Node m when K.compare n.key m.key > 0 -> Error "list not sorted"
+        | Nil | Node _ -> go (count + 1) n.next)
+    in
+    go 0 t.first
+end

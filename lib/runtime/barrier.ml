@@ -1,0 +1,42 @@
+module Make (R : Runtime_intf.S) = struct
+  type t = {
+    parties : int;
+    lock : R.lock;
+    remaining : int R.shared; (* arrivals still missing this phase *)
+    sense : bool R.shared; (* flips once per phase *)
+    phase_count : int R.shared;
+  }
+
+  let create ~parties =
+    if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+    {
+      parties;
+      lock = R.lock_create ~name:"barrier" ();
+      remaining = R.shared parties;
+      sense = R.shared false;
+      phase_count = R.shared 0;
+    }
+
+  let await t =
+    R.acquire t.lock;
+    (* Read the sense under the lock: every arrival of a phase must target
+       the same flip, or a slow arrival could wait out the wrong one. *)
+    let my_sense = not (R.read t.sense) in
+    let left = R.read t.remaining - 1 in
+    if left = 0 then begin
+      (* Last arrival: open the barrier for this phase. *)
+      R.write t.remaining t.parties;
+      R.write t.phase_count (R.read t.phase_count + 1);
+      R.write t.sense my_sense;
+      R.release t.lock
+    end
+    else begin
+      R.write t.remaining left;
+      R.release t.lock;
+      while R.read t.sense <> my_sense do
+        R.yield ()
+      done
+    end
+
+  let phases t = R.read t.phase_count
+end

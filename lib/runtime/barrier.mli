@@ -1,0 +1,23 @@
+(** Sense-reversing centralized barrier over any {!Runtime_intf.S}.
+
+    Classic shared-memory barrier: arrivals decrement a counter under a
+    lock; the last arrival flips the shared sense and resets the counter;
+    everyone else spins on the sense flag (reads are cache hits until the
+    flip invalidates them — cheap on the simulator's model too).  Used by
+    phased experiments to start all processors at once. *)
+
+module Make (R : Runtime_intf.S) : sig
+  type t
+
+  val create : parties:int -> t
+  (** [parties] is the number of processors meeting at the barrier;
+      must be positive. *)
+
+  val await : t -> unit
+  (** Blocks (spins) until [parties] processors have called [await] in the
+      current phase.  Reusable: the next [parties] calls form the next
+      phase. *)
+
+  val phases : t -> int
+  (** Completed phases so far (for tests/diagnostics). *)
+end

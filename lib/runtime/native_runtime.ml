@@ -1,0 +1,51 @@
+type 'a shared = 'a Atomic.t
+
+let shared ?name v =
+  ignore name;
+  Atomic.make v
+
+let read = Atomic.get
+let write = Atomic.set
+let swap = Atomic.exchange
+
+type lock = Mutex.t
+
+let lock_create ?name () =
+  ignore name;
+  Mutex.create ()
+
+let acquire = Mutex.lock
+let release = Mutex.unlock
+
+let clock = Atomic.make 1
+
+(* [fetch_and_add] makes every reader see a distinct, monotonically
+   increasing value; the returned values are totally ordered consistently
+   with the atomic-operation order, hence with real time. *)
+let get_time () = Atomic.fetch_and_add clock 1
+let reset_clock () = Atomic.set clock 1
+
+let work n =
+  (* Burn roughly [n] cycles of local work without touching shared state. *)
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc lxor i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let proc_ids = Atomic.make 0
+let proc_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add proc_ids 1)
+let self () = Domain.DLS.get proc_key
+let yield () = Domain.cpu_relax ()
+
+let run_processors n body =
+  if n <= 0 then invalid_arg "Native_runtime.run_processors";
+  let domains = Array.init n (fun i -> Domain.spawn (fun () -> body i)) in
+  let failure = ref None in
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | () -> ()
+      | exception e -> if !failure = None then failure := Some e)
+    domains;
+  match !failure with None -> () | Some e -> raise e

@@ -1,0 +1,57 @@
+(** The execution-environment abstraction all concurrent structures are
+    written against.
+
+    The paper's algorithms need exactly these primitives: shared memory
+    cells with READ / WRITE / atomic SWAP, fair locks, a shared cycle clock
+    ([getTime]), and a way to burn local work cycles.  Two implementations
+    exist:
+
+    - {!Native_runtime}: real parallelism — OCaml 5 [Atomic] cells,
+      [Mutex] locks, domains as processors.
+    - [Repro_sim.Sim_runtime]: the Proteus-like simulator — every operation
+      performs an effect handled by the machine scheduler, which charges
+      simulated cycles and interleaves virtual processors in
+      simulated-time order.
+
+    Data structures are functors over {!S} and therefore run unchanged on
+    both. *)
+
+module type S = sig
+  type 'a shared
+  (** A shared mutable memory cell.  On the simulator every access is
+      charged a latency from the memory model and hot cells queue. *)
+
+  val shared : ?name:string -> 'a -> 'a shared
+  (** [shared v] allocates a cell initialised to [v].  [name] is used only
+      for tracing/diagnostics. *)
+
+  val read : 'a shared -> 'a
+  val write : 'a shared -> 'a -> unit
+
+  val swap : 'a shared -> 'a -> 'a
+  (** Atomic register-to-memory swap: writes the new value and returns the
+      previous one, in a single atomic step.  The only universal primitive
+      the paper's Delete-min needs. *)
+
+  type lock
+  (** A fair (FIFO under the simulator) mutual-exclusion lock. *)
+
+  val lock_create : ?name:string -> unit -> lock
+  val acquire : lock -> unit
+  val release : lock -> unit
+
+  val get_time : unit -> int
+  (** Reads the shared clock.  Timestamps are totally ordered consistently
+      with real time: if operation A's [get_time] happens before operation
+      B's, A observes a strictly smaller value. *)
+
+  val work : int -> unit
+  (** [work n] performs [n] cycles of processor-local computation (the
+      benchmark's "local work" between queue operations). *)
+
+  val self : unit -> int
+  (** Identifier of the calling (virtual) processor. *)
+
+  val yield : unit -> unit
+  (** Politeness hint while spinning (e.g. inside the combining funnel). *)
+end

@@ -1,0 +1,11 @@
+module Heap = Repro_pqueue.Seq_heap.Make (Repro_pqueue.Key.Int_pair)
+
+type 'a t = 'a Heap.t
+
+let create () = Heap.create ~initial_capacity:1024 ()
+let length = Heap.length
+let is_empty = Heap.is_empty
+let insert t key v = Heap.insert t key v
+
+let pop_min t =
+  match Heap.delete_min t with None -> None | Some (k, v) -> Some (k, v)

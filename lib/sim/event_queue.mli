@@ -1,0 +1,13 @@
+(** The simulator's pending-event queue.
+
+    A thin wrapper over the sequential binary heap keyed by
+    [(simulated time, sequence number)] — the sequence number makes
+    same-time events FIFO and the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val insert : 'a t -> int * int -> 'a -> unit
+val pop_min : 'a t -> ((int * int) * 'a) option

@@ -1,0 +1,301 @@
+type report = {
+  end_time : int;
+  processors : int;
+  accesses : int;
+  cache_hits : int;
+  queued_cycles : int;
+  swaps : int;
+  lock_acquisitions : int;
+  lock_contentions : int;
+  lock_wait_cycles : int;
+}
+
+exception Deadlock of string
+
+type lock = {
+  lock_meta : Memory_model.meta;
+  lock_name : string;
+  mutable holder : int; (* proc id, or -1 when free *)
+  waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
+}
+
+type _ Effect.t +=
+  | Work : int -> unit Effect.t
+  | Access : Memory_model.meta * Memory_model.kind -> unit Effect.t
+  | Alloc : Memory_model.meta Effect.t
+  | Acquire : lock -> unit Effect.t
+  | Release : lock -> unit Effect.t
+  | Get_time : int Effect.t
+  | Probe_time : int Effect.t
+  | Self : int Effect.t
+  | Spawn : (unit -> unit) -> unit Effect.t
+
+(* Mutable simulation state, all local to one [run] call. *)
+type state = {
+  config : Memory_model.config;
+  memory : Memory_model.system;
+  tracer : Trace.sink option;
+  events : (int * (unit -> unit)) Event_queue.t; (* keyed by (clock, seq) *)
+  mutable seq : int;
+  mutable current : int; (* running processor *)
+  clocks : int array; (* local clock per processor *)
+  mutable next_proc : int;
+  mutable next_loc : int;
+  mutable parked : int;
+  mutable finished : int;
+  mutable end_time : int;
+  (* statistics *)
+  mutable accesses : int;
+  mutable cache_hits : int;
+  mutable queued_cycles : int;
+  mutable swaps : int;
+  mutable lock_acquisitions : int;
+  mutable lock_contentions : int;
+  mutable lock_wait_cycles : int;
+}
+
+let enqueue st ~proc ~at thunk =
+  st.seq <- st.seq + 1;
+  Event_queue.insert st.events (at, st.seq) (proc, thunk)
+
+let handoff_cost st = st.config.Memory_model.remote_fetch
+
+(* Charge an access for the current processor and advance its clock. *)
+let charge_access st meta kind =
+  let proc = st.current in
+  let now = st.clocks.(proc) in
+  let c = Memory_model.access st.memory meta ~proc ~now kind in
+  st.accesses <- st.accesses + 1;
+  if c.hit then st.cache_hits <- st.cache_hits + 1;
+  st.queued_cycles <- st.queued_cycles + c.queued;
+  if kind = Memory_model.Swap then st.swaps <- st.swaps + 1;
+  st.clocks.(proc) <- c.finish;
+  match st.tracer with
+  | None -> ()
+  | Some sink ->
+    sink
+      (Trace.Accessed
+         {
+           proc;
+           location = Memory_model.location_id meta;
+           kind;
+           start = c.start;
+           finish = c.finish;
+           hit = c.hit;
+           queued = c.queued;
+         })
+
+let run ?(config = Memory_model.default) ?tracer main =
+  let st =
+    {
+      config;
+      memory = Memory_model.make_system config;
+      tracer;
+      events = Event_queue.create ();
+      seq = 0;
+      current = 0;
+      clocks = Array.make config.Memory_model.max_procs 0;
+      next_proc = 1;
+      next_loc = 0;
+      parked = 0;
+      finished = 0;
+      end_time = 0;
+      accesses = 0;
+      cache_hits = 0;
+      queued_cycles = 0;
+      swaps = 0;
+      lock_acquisitions = 0;
+      lock_contentions = 0;
+      lock_wait_cycles = 0;
+    }
+  in
+  let rec start_proc proc body =
+    Effect.Deep.match_with body ()
+      {
+        retc =
+          (fun () ->
+            st.finished <- st.finished + 1;
+            st.end_time <- Int.max st.end_time st.clocks.(proc);
+            match st.tracer with
+            | None -> ()
+            | Some sink -> sink (Trace.Exited { proc; at = st.clocks.(proc) }));
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Work n ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let p = st.current in
+                  st.clocks.(p) <- st.clocks.(p) + Int.max 0 n;
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k ()))
+            | Access (meta, kind) ->
+              Some
+                (fun k ->
+                  let p = st.current in
+                  charge_access st meta kind;
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k ()))
+            | Alloc ->
+              Some
+                (fun k ->
+                  let id = st.next_loc in
+                  st.next_loc <- st.next_loc + 1;
+                  Effect.Deep.continue k (Memory_model.make_meta st.memory ~id))
+            | Get_time ->
+              Some
+                (fun k ->
+                  let p = st.current in
+                  let t = st.clocks.(p) in
+                  st.clocks.(p) <- t + st.config.Memory_model.local_fetch;
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k t))
+            | Probe_time ->
+              Some (fun k -> Effect.Deep.continue k st.clocks.(st.current))
+            | Self -> Some (fun k -> Effect.Deep.continue k st.current)
+            | Spawn body ->
+              Some
+                (fun k ->
+                  let p = st.current in
+                  if st.next_proc >= st.config.Memory_model.max_procs then
+                    failwith "Machine.spawn: processor limit reached";
+                  let child = st.next_proc in
+                  st.next_proc <- st.next_proc + 1;
+                  st.clocks.(child) <- st.clocks.(p);
+                  (match st.tracer with
+                  | None -> ()
+                  | Some sink ->
+                    sink
+                      (Trace.Spawned
+                         { parent = p; child; at = st.clocks.(p) }));
+                  enqueue st ~proc:child ~at:st.clocks.(child) (fun () ->
+                      start_proc child body);
+                  (* Spawning costs one cycle so children interleave
+                     deterministically with the parent. *)
+                  st.clocks.(p) <- st.clocks.(p) + 1;
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k ()))
+            | Acquire lock ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let p = st.current in
+                  st.lock_acquisitions <- st.lock_acquisitions + 1;
+                  (* The acquire attempt is an atomic RMW on the lock word. *)
+                  charge_access st lock.lock_meta Memory_model.Swap;
+                  if lock.holder = -1 then begin
+                    lock.holder <- p;
+                    (match st.tracer with
+                    | None -> ()
+                    | Some sink ->
+                      sink
+                        (Trace.Acquired
+                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+                    enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                        Effect.Deep.continue k ())
+                  end
+                  else begin
+                    st.lock_contentions <- st.lock_contentions + 1;
+                    st.parked <- st.parked + 1;
+                    (match st.tracer with
+                    | None -> ()
+                    | Some sink ->
+                      sink
+                        (Trace.Parked
+                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+                    Queue.add (p, k) lock.waiting
+                  end)
+            | Release lock ->
+              Some
+                (fun k ->
+                  let p = st.current in
+                  if lock.holder <> p then
+                    failwith
+                      (Printf.sprintf "Machine: processor %d released lock %s held by %d"
+                         p lock.lock_name lock.holder);
+                  charge_access st lock.lock_meta Memory_model.Write;
+                  (match st.tracer with
+                  | None -> ()
+                  | Some sink ->
+                    sink
+                      (Trace.Released
+                         { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+                  (match Queue.take_opt lock.waiting with
+                  | None -> lock.holder <- -1
+                  | Some (waiter, wk) ->
+                    lock.holder <- waiter;
+                    st.parked <- st.parked - 1;
+                    let park_time = st.clocks.(waiter) in
+                    let wake = Int.max st.clocks.(p) park_time + handoff_cost st in
+                    st.lock_wait_cycles <- st.lock_wait_cycles + (wake - park_time);
+                    st.clocks.(waiter) <- wake;
+                    (match st.tracer with
+                    | None -> ()
+                    | Some sink ->
+                      sink
+                        (Trace.Woken
+                           {
+                             proc = waiter;
+                             lock = lock.lock_name;
+                             at = wake;
+                             waited = wake - park_time;
+                           }));
+                    enqueue st ~proc:waiter ~at:wake (fun () ->
+                        Effect.Deep.continue wk ()));
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k ()))
+            | _ -> None)
+      }
+  in
+  enqueue st ~proc:0 ~at:0 (fun () -> start_proc 0 main);
+  let rec loop () =
+    match Event_queue.pop_min st.events with
+    | None ->
+      if st.parked > 0 then
+        raise
+          (Deadlock
+             (Printf.sprintf "%d processor(s) parked on locks, none runnable" st.parked))
+    | Some ((at, _), (proc, thunk)) ->
+      st.current <- proc;
+      (* A parked-and-woken processor's clock may have been pushed past the
+         event key; never let clocks run backwards. *)
+      if st.clocks.(proc) < at then st.clocks.(proc) <- at;
+      thunk ();
+      loop ()
+  in
+  loop ();
+  {
+    end_time = st.end_time;
+    processors = st.next_proc;
+    accesses = st.accesses;
+    cache_hits = st.cache_hits;
+    queued_cycles = st.queued_cycles;
+    swaps = st.swaps;
+    lock_acquisitions = st.lock_acquisitions;
+    lock_contentions = st.lock_contentions;
+    lock_wait_cycles = st.lock_wait_cycles;
+  }
+
+let not_in_sim () = failwith "Machine: operation used outside Machine.run"
+
+let perform_or_fail eff =
+  try Effect.perform eff with Effect.Unhandled _ -> not_in_sim ()
+
+let spawn body = perform_or_fail (Spawn body)
+let work n = perform_or_fail (Work n)
+let get_time () = perform_or_fail Get_time
+let probe_time () = perform_or_fail Probe_time
+let self () = perform_or_fail Self
+let alloc_meta () = perform_or_fail Alloc
+let access meta kind = perform_or_fail (Access (meta, kind))
+
+let lock_create ?(name = "lock") () =
+  {
+    lock_meta = alloc_meta ();
+    lock_name = name;
+    holder = -1;
+    waiting = Queue.create ();
+  }
+
+let lock_acquire lock = perform_or_fail (Acquire lock)
+let lock_release lock = perform_or_fail (Release lock)

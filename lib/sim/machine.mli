@@ -1,0 +1,76 @@
+(** The Proteus-like multiprocessor simulator.
+
+    A {e virtual processor} is an ordinary OCaml closure executed under an
+    effect handler.  Every runtime operation ({!Sim_runtime.read},
+    [write], [swap], [acquire], [work], ...) performs an effect; the
+    handler charges simulated cycles from {!Memory_model}, re-enqueues the
+    continuation keyed by the processor's local clock, and the scheduler
+    always resumes the globally-earliest runnable processor.  Between two
+    effects a processor runs uninterrupted, so memory operations are atomic
+    and interleave in simulated-time order — the same granularity at which
+    Proteus multiplexes threads.
+
+    The simulation is deterministic: equal programs and seeds produce equal
+    schedules, cycle counts and results. *)
+
+type report = {
+  end_time : int;  (** simulated cycles until the last processor finished *)
+  processors : int;  (** total processors that ran (including the root) *)
+  accesses : int;
+  cache_hits : int;
+  queued_cycles : int;  (** total cycles spent waiting on memory modules *)
+  swaps : int;
+  lock_acquisitions : int;
+  lock_contentions : int;  (** acquisitions that had to park *)
+  lock_wait_cycles : int;  (** total cycles parked waiting for locks *)
+}
+
+exception Deadlock of string
+(** Raised when no processor is runnable but some are parked on locks. *)
+
+val run :
+  ?config:Memory_model.config -> ?tracer:Trace.sink -> (unit -> unit) -> report
+(** [run main] executes [main] as virtual processor 0 and returns when all
+    processors (0 and everything it {!spawn}ed, transitively) have
+    finished.  Exceptions raised by processors propagate.  [tracer]
+    receives every scheduling and memory event (see {!Trace}); tracing a
+    long benchmark is expensive, use it on diagnostic runs. *)
+
+(** The operations below may only be called from inside a processor (i.e.
+    during {!run}); elsewhere they raise [Failure]. *)
+
+val spawn : (unit -> unit) -> unit
+(** Starts a new virtual processor whose local clock starts at the
+    spawner's current clock. *)
+
+val work : int -> unit
+(** Burn local cycles. *)
+
+val get_time : unit -> int
+(** Read the shared cycle clock (fixed small cost, no queueing — the
+    hardware clock is replicated). *)
+
+val self : unit -> int
+(** Identifier of the calling virtual processor (0 for the root). *)
+
+val probe_time : unit -> int
+(** The calling processor's local clock, free of charge — for harness
+    instrumentation only (the paper's Proteus likewise reads thread time
+    without perturbing the simulation).  Algorithms must use {!get_time}. *)
+
+val alloc_meta : unit -> Memory_model.meta
+(** Allocate bookkeeping for a fresh shared location. *)
+
+val access : Memory_model.meta -> Memory_model.kind -> unit
+(** Charge one shared-memory access; returns once the access has been
+    serviced in simulated time. *)
+
+type lock
+
+val lock_create : ?name:string -> unit -> lock
+val lock_acquire : lock -> unit
+(** FIFO-fair; parked processors generate no memory traffic (the paper
+    uses Proteus semaphores, i.e. blocking locks). *)
+
+val lock_release : lock -> unit
+(** Raises [Failure] if the caller does not hold the lock. *)

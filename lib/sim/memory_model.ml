@@ -1,0 +1,121 @@
+type config = {
+  cache_hit : int;
+  local_fetch : int;
+  remote_fetch : int;
+  occupancy : int;
+  node_occupancy : int;
+  swap_extra : int;
+  numa_nodes : int;
+  max_procs : int;
+}
+
+let default =
+  {
+    cache_hit = 2;
+    local_fetch = 11;
+    remote_fetch = 38;
+    occupancy = 6;
+    node_occupancy = 12;
+    swap_extra = 6;
+    numa_nodes = 16;
+    max_procs = 512;
+  }
+
+let sequential =
+  {
+    cache_hit = 1;
+    local_fetch = 1;
+    remote_fetch = 1;
+    occupancy = 0;
+    node_occupancy = 0;
+    swap_extra = 0;
+    numa_nodes = 1;
+    max_procs = 512;
+  }
+
+type system = { config : config; node_busy : int array }
+
+let make_system config = { config; node_busy = Array.make config.numa_nodes 0 }
+let system_config sys = sys.config
+
+type meta = {
+  id : int;
+  home : int;
+  mutable writer : int; (* proc owning the line exclusively; -1 if none *)
+  sharers : Repro_util.Bitset.t; (* procs holding the line in shared state *)
+  mutable busy_until : int; (* line-level queue *)
+}
+
+let home_node config ~id = id mod config.numa_nodes
+let proc_node config ~proc = proc mod config.numa_nodes
+
+let make_meta sys ~id =
+  {
+    id;
+    home = home_node sys.config ~id;
+    writer = -1;
+    sharers = Repro_util.Bitset.create sys.config.max_procs;
+    busy_until = 0;
+  }
+
+let location_id meta = meta.id
+
+type kind = Read | Write | Swap
+
+type charge = { start : int; finish : int; hit : bool; queued : int }
+
+let fetch_latency config meta ~proc =
+  if proc_node config ~proc = meta.home then config.local_fetch
+  else config.remote_fetch
+
+(* A miss queues twice: behind other misses to the same line (hot spots)
+   and behind other misses served by the same home node (bandwidth). *)
+let miss_start sys meta ~now =
+  let start = Int.max now (Int.max meta.busy_until sys.node_busy.(meta.home)) in
+  sys.node_busy.(meta.home) <- start + sys.config.node_occupancy;
+  start
+
+let access sys meta ~proc ~now kind =
+  let config = sys.config in
+  let cached =
+    meta.writer = proc
+    || (meta.writer = -1 && Repro_util.Bitset.mem meta.sharers proc)
+  in
+  match kind with
+  | Read when cached ->
+    (* Hit: served by the processor's cache, no module traffic. *)
+    { start = now; finish = now + config.cache_hit; hit = true; queued = 0 }
+  | Read ->
+    let start = miss_start sys meta ~now in
+    let latency = fetch_latency config meta ~proc in
+    meta.busy_until <- start + config.occupancy;
+    (* Line becomes shared: a previous exclusive owner is downgraded. *)
+    if meta.writer >= 0 then begin
+      Repro_util.Bitset.add meta.sharers meta.writer;
+      meta.writer <- -1
+    end;
+    Repro_util.Bitset.add meta.sharers proc;
+    { start; finish = start + latency; hit = false; queued = start - now }
+  | Write when meta.writer = proc ->
+    (* Exclusive owner writes in cache. *)
+    { start = now; finish = now + config.cache_hit; hit = true; queued = 0 }
+  | Write ->
+    let start = miss_start sys meta ~now in
+    let latency = fetch_latency config meta ~proc in
+    meta.busy_until <- start + config.occupancy;
+    Repro_util.Bitset.clear meta.sharers;
+    meta.writer <- proc;
+    { start; finish = start + latency; hit = false; queued = start - now }
+  | Swap ->
+    (* RMW always serializes at the module, even for the owner: it is the
+       point where concurrent SWAPs order themselves. *)
+    let start = miss_start sys meta ~now in
+    let latency =
+      (if meta.writer = proc then config.cache_hit
+       else fetch_latency config meta ~proc)
+      + config.swap_extra
+    in
+    meta.busy_until <- start + config.occupancy + config.swap_extra;
+    Repro_util.Bitset.clear meta.sharers;
+    meta.writer <- proc;
+    { start; finish = start + latency; hit = false; queued = start - now }

@@ -1,0 +1,71 @@
+(** Cost model of the simulated ccNUMA shared-memory system.
+
+    The model captures the three effects the paper's evaluation hinges on:
+
+    + {b Latency hierarchy} — a cache hit is much cheaper than a fetch from
+      the local memory node, which is cheaper than a remote node (Alewife's
+      defining property).
+    + {b Cache coherence} — a line read by many processors is cheap to
+      re-read (shared state) but a write or SWAP invalidates all sharers
+      and costs a full fetch for the next reader.
+    + {b Hot-spot queueing} — each location's memory module serves one
+      miss at a time ([busy_until]); [k] processors hammering one location
+      (a heap's size lock, a list head) serialize and each pays O(k) —
+      exactly the contention that limits centralized structures.
+
+    All costs are in simulated machine cycles. *)
+
+type config = {
+  cache_hit : int;  (** load/store satisfied by the local cache *)
+  local_fetch : int;  (** miss served by the processor's own NUMA node *)
+  remote_fetch : int;  (** miss served by another node *)
+  occupancy : int;
+      (** cycles the location's line is busy per miss; the queueing
+          quantum behind hot-spot contention *)
+  node_occupancy : int;
+      (** cycles a miss occupies the home node's memory module, shared by
+          every location living on that node — the finite-bandwidth term
+          that makes the whole machine saturate as processors multiply *)
+  swap_extra : int;  (** additional cycles for the atomic read-modify-write *)
+  numa_nodes : int;  (** locations are distributed round-robin across nodes *)
+  max_procs : int;  (** capacity of per-location sharer sets *)
+}
+
+val default : config
+(** Alewife-flavoured constants: cache_hit 2, local_fetch 11, remote_fetch
+    38, occupancy 6, node_occupancy 12, swap_extra 6, 16 NUMA nodes, 512
+    processors. *)
+
+val sequential : config
+(** Degenerate uniform-cost config (every access 1 cycle, no queueing) for
+    tests that want logical time only. *)
+
+type system
+(** One simulated memory system: the config plus per-node module queues. *)
+
+val make_system : config -> system
+val system_config : system -> config
+
+type meta
+(** Per-location bookkeeping: home node, coherence state, line queue. *)
+
+val make_meta : system -> id:int -> meta
+val location_id : meta -> int
+
+type kind = Read | Write | Swap
+
+type charge = {
+  start : int;  (** when the access begins service (>= request time) *)
+  finish : int;  (** when the processor may continue *)
+  hit : bool;
+  queued : int;  (** cycles spent waiting for the memory module *)
+}
+
+val access : system -> meta -> proc:int -> now:int -> kind -> charge
+(** [access sys meta ~proc ~now kind] charges one access by processor
+    [proc] whose local clock reads [now], updating the location's coherence
+    and queueing state.  Must be called in nondecreasing [now] order across
+    all processors (the simulator scheduler guarantees this). *)
+
+val home_node : config -> id:int -> int
+val proc_node : config -> proc:int -> int

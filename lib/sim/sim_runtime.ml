@@ -1,0 +1,29 @@
+type 'a shared = { mutable v : 'a; meta : Memory_model.meta }
+
+let shared ?name v =
+  ignore name;
+  { v; meta = Machine.alloc_meta () }
+
+let read cell =
+  Machine.access cell.meta Memory_model.Read;
+  cell.v
+
+let write cell v =
+  Machine.access cell.meta Memory_model.Write;
+  cell.v <- v
+
+let swap cell v =
+  Machine.access cell.meta Memory_model.Swap;
+  let old = cell.v in
+  cell.v <- v;
+  old
+
+type lock = Machine.lock
+
+let lock_create ?name () = Machine.lock_create ?name ()
+let acquire = Machine.lock_acquire
+let release = Machine.lock_release
+let get_time = Machine.get_time
+let work = Machine.work
+let self = Machine.self
+let yield () = Machine.work 1

@@ -1,0 +1,151 @@
+type event =
+  | Spawned of { parent : int; child : int; at : int }
+  | Exited of { proc : int; at : int }
+  | Accessed of {
+      proc : int;
+      location : int;
+      kind : Memory_model.kind;
+      start : int;
+      finish : int;
+      hit : bool;
+      queued : int;
+    }
+  | Acquired of { proc : int; lock : string; at : int }
+  | Released of { proc : int; lock : string; at : int }
+  | Parked of { proc : int; lock : string; at : int }
+  | Woken of { proc : int; lock : string; at : int; waited : int }
+
+type sink = event -> unit
+
+let pp_kind ppf = function
+  | Memory_model.Read -> Format.pp_print_string ppf "read"
+  | Memory_model.Write -> Format.pp_print_string ppf "write"
+  | Memory_model.Swap -> Format.pp_print_string ppf "swap"
+
+let pp_event ppf = function
+  | Spawned { parent; child; at } ->
+    Format.fprintf ppf "[%d] proc %d spawned %d" at parent child
+  | Exited { proc; at } -> Format.fprintf ppf "[%d] proc %d exited" at proc
+  | Accessed { proc; location; kind; start; finish; hit; queued } ->
+    Format.fprintf ppf "[%d-%d] proc %d %a loc %d%s%s" start finish proc pp_kind
+      kind location
+      (if hit then " (hit)" else "")
+      (if queued > 0 then Printf.sprintf " queued %d" queued else "")
+  | Acquired { proc; lock; at } ->
+    Format.fprintf ppf "[%d] proc %d acquired %s" at proc lock
+  | Released { proc; lock; at } ->
+    Format.fprintf ppf "[%d] proc %d released %s" at proc lock
+  | Parked { proc; lock; at } ->
+    Format.fprintf ppf "[%d] proc %d parked on %s" at proc lock
+  | Woken { proc; lock; at; waited } ->
+    Format.fprintf ppf "[%d] proc %d woken on %s after %d" at proc lock waited
+
+module Summary = struct
+  type loc_stat = { mutable misses : int; mutable loc_queued : int }
+
+  type lock_stat = {
+    mutable acquisitions : int;
+    mutable parkings : int;
+    mutable waited : int;
+  }
+
+  type span = { mutable spawned_at : int; mutable exited_at : int }
+
+  type t = {
+    mutable total : int;
+    locations : (int, loc_stat) Hashtbl.t;
+    locks : (string, lock_stat) Hashtbl.t;
+    spans : (int, span) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      total = 0;
+      locations = Hashtbl.create 256;
+      locks = Hashtbl.create 16;
+      spans = Hashtbl.create 64;
+    }
+
+  let loc_stat t location =
+    match Hashtbl.find_opt t.locations location with
+    | Some s -> s
+    | None ->
+      let s = { misses = 0; loc_queued = 0 } in
+      Hashtbl.add t.locations location s;
+      s
+
+  let lock_stat t name =
+    match Hashtbl.find_opt t.locks name with
+    | Some s -> s
+    | None ->
+      let s = { acquisitions = 0; parkings = 0; waited = 0 } in
+      Hashtbl.add t.locks name s;
+      s
+
+  let span t proc =
+    match Hashtbl.find_opt t.spans proc with
+    | Some s -> s
+    | None ->
+      let s = { spawned_at = 0; exited_at = -1 } in
+      Hashtbl.add t.spans proc s;
+      s
+
+  let sink t event =
+    t.total <- t.total + 1;
+    match event with
+    | Spawned { child; at; _ } -> (span t child).spawned_at <- at
+    | Exited { proc; at } -> (span t proc).exited_at <- at
+    | Accessed { location; hit; queued; _ } ->
+      if not hit then begin
+        let s = loc_stat t location in
+        s.misses <- s.misses + 1;
+        s.loc_queued <- s.loc_queued + queued
+      end
+    | Acquired { lock; _ } ->
+      let s = lock_stat t lock in
+      s.acquisitions <- s.acquisitions + 1
+    | Parked { lock; _ } ->
+      let s = lock_stat t lock in
+      s.parkings <- s.parkings + 1
+    | Woken { lock; waited; _ } ->
+      (* a wake-up is also an acquisition: the lock is handed off *)
+      let s = lock_stat t lock in
+      s.acquisitions <- s.acquisitions + 1;
+      s.waited <- s.waited + waited
+    | Released _ -> ()
+
+  let events t = t.total
+
+  let hottest_locations t ~n =
+    Hashtbl.fold
+      (fun loc s acc ->
+        if s.loc_queued > 0 then (loc, s.misses, s.loc_queued) :: acc else acc)
+      t.locations []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < n)
+
+  let lock_profile t =
+    Hashtbl.fold
+      (fun name s acc -> (name, s.acquisitions, s.parkings, s.waited) :: acc)
+      t.locks []
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+
+  let processor_spans t =
+    Hashtbl.fold (fun proc s acc -> (proc, s.spawned_at, s.exited_at) :: acc) t.spans []
+    |> List.sort compare
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>%d trace events, %d processors@," t.total
+      (Hashtbl.length t.spans);
+    Format.fprintf ppf "hottest locations (loc, misses, queued cycles):@,";
+    List.iter
+      (fun (loc, misses, queued) ->
+        Format.fprintf ppf "  loc %-8d %8d %10d@," loc misses queued)
+      (hottest_locations t ~n:5);
+    Format.fprintf ppf "locks (name, acquisitions, parkings, waited cycles):@,";
+    List.iter
+      (fun (name, acq, parks, waited) ->
+        Format.fprintf ppf "  %-20s %8d %8d %10d@," name acq parks waited)
+      (lock_profile t);
+    Format.fprintf ppf "@]"
+end

@@ -1,0 +1,23 @@
+module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) =
+struct
+  (* The ordered-map view is the SkipQueue without its Delete-min front
+     end; the implementation is shared rather than duplicated.  Relaxed
+     mode skips the timestamping that only Delete-min consumes. *)
+  module Q = Skipqueue.Make (R) (K)
+
+  type 'v t = 'v Q.t
+
+  let create ?p ?max_level ?seed () =
+    Q.create ~mode:Q.Relaxed ?p ?max_level ?seed ()
+
+  let insert = Q.insert
+  let find = Q.find
+  let mem t key = Option.is_some (Q.find t key)
+  let remove = Q.delete
+
+  let min_binding = Q.peek_min
+
+  let size = Q.size
+  let to_list = Q.to_list
+  let check_invariants = Q.check_invariants
+end

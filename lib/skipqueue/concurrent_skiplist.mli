@@ -1,0 +1,38 @@
+(** The general concurrent SkipList of §2 — Pugh's lock-based concurrent
+    skiplist — exposed as an ordered concurrent map.
+
+    This is the substrate the SkipQueue specializes: the same nodes, locks
+    and one-level-at-a-time insertion/deletion discipline, without the
+    Delete-min machinery (no timestamps; deletions are by key and use the
+    same SWAP-marking to arbitrate with each other).  Use it when you need
+    a concurrent ordered dictionary rather than a priority queue. *)
+
+module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : sig
+  type 'v t
+
+  val create : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> 'v t
+
+  val insert : 'v t -> K.t -> 'v -> [ `Inserted | `Updated ]
+  (** Adds the binding, or overwrites the value in place when the key is
+      already present. *)
+
+  val find : 'v t -> K.t -> 'v option
+  (** Lock-free read-only search. *)
+
+  val mem : 'v t -> K.t -> bool
+
+  val remove : 'v t -> K.t -> 'v option
+  (** Unlinks the key if present.  Concurrent removals of the same key are
+      arbitrated by the node's SWAP-marked flag: exactly one wins. *)
+
+  val min_binding : 'v t -> (K.t * 'v) option
+  (** Smallest live binding (read-only; does not remove). *)
+
+  val size : 'v t -> int
+  (** Quiescent use only. *)
+
+  val to_list : 'v t -> (K.t * 'v) list
+  (** Ascending; quiescent use only. *)
+
+  val check_invariants : 'v t -> (unit, string) result
+end

@@ -1,0 +1,90 @@
+type scale = Linear | Log2 | Log10
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+let apply_scale scale v =
+  match scale with
+  | Linear -> Some v
+  | Log2 -> if v > 0.0 then Some (Float.log2 v) else None
+  | Log10 -> if v > 0.0 then Some (log10 v) else None
+
+let plottable scale_x scale_y (x, y) =
+  if not (Float.is_finite x && Float.is_finite y) then None
+  else
+    match (apply_scale scale_x x, apply_scale scale_y y) with
+    | Some sx, Some sy when Float.is_finite sx && Float.is_finite sy -> Some (sx, sy)
+    | _ -> None
+
+let axis_text scale v =
+  let raw =
+    match scale with Linear -> v | Log2 -> Float.pow 2.0 v | Log10 -> Float.pow 10.0 v
+  in
+  if Float.abs raw >= 10_000.0 || (Float.abs raw < 0.01 && raw <> 0.0) then
+    Printf.sprintf "%.1e" raw
+  else Printf.sprintf "%g" raw
+
+let render ?(width = 72) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear)
+    ?(x_label = "") ?(y_label = "") series =
+  if width < 16 || height < 4 then invalid_arg "Ascii_plot.render: canvas too small";
+  let scaled =
+    List.map
+      (fun s -> (s, List.filter_map (plottable x_scale y_scale) s.points))
+      series
+  in
+  let all_points = List.concat_map snd scaled in
+  if all_points = [] then invalid_arg "Ascii_plot.render: nothing to plot";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let min_x = List.fold_left Float.min infinity xs in
+  let max_x = List.fold_left Float.max neg_infinity xs in
+  let min_y = List.fold_left Float.min infinity ys in
+  let max_y = List.fold_left Float.max neg_infinity ys in
+  let span v_min v_max = if v_max -. v_min <= 0.0 then 1.0 else v_max -. v_min in
+  let x_span = span min_x max_x and y_span = span min_y max_y in
+  let canvas = Array.make_matrix height width ' ' in
+  let rasterize (s, points) =
+    List.iter
+      (fun (x, y) ->
+        let col =
+          int_of_float ((x -. min_x) /. x_span *. float_of_int (width - 1) +. 0.5)
+        in
+        let row =
+          height - 1
+          - int_of_float ((y -. min_y) /. y_span *. float_of_int (height - 1) +. 0.5)
+        in
+        if row >= 0 && row < height && col >= 0 && col < width then
+          canvas.(row).(col) <- s.marker)
+      points
+  in
+  List.iter rasterize scaled;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  let top_tick = axis_text y_scale max_y and bottom_tick = axis_text y_scale min_y in
+  let margin = Int.max (String.length top_tick) (String.length bottom_tick) in
+  Array.iteri
+    (fun row line ->
+      let tick =
+        if row = 0 then top_tick else if row = height - 1 then bottom_tick else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%*s |" margin tick);
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (String.make (margin + 2) ' ');
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let left_tick = axis_text x_scale min_x and right_tick = axis_text x_scale max_x in
+  Buffer.add_string buf (String.make (margin + 2) ' ');
+  Buffer.add_string buf left_tick;
+  let pad = width - String.length left_tick - String.length right_tick in
+  Buffer.add_string buf (String.make (Int.max 1 pad) ' ');
+  Buffer.add_string buf right_tick;
+  if x_label <> "" then Buffer.add_string buf ("  " ^ x_label);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

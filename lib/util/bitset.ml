@@ -1,0 +1,33 @@
+type t = { words : int array; capacity : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + 62) / 63) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: member out of range"
+
+let add t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let remove t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1)
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if t.words.(i / 63) land (1 lsl (i mod 63)) <> 0 then f i
+  done

@@ -1,0 +1,18 @@
+(** Fixed-capacity bitsets.
+
+    Used by the simulator's memory model to track which virtual processors
+    hold a cache line in shared state; operations are O(1) except
+    {!clear}/{!cardinal}, which are O(capacity/63). *)
+
+type t
+
+val create : int -> t
+(** [create n] supports members [0 .. n-1], initially empty. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  base : float;
+  factor : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(base = 1.0) ?(factor = 1.5) ?(buckets = 64) () =
+  if base <= 0.0 then invalid_arg "Histogram.create: base must be positive";
+  if factor <= 1.0 then invalid_arg "Histogram.create: factor must exceed 1";
+  if buckets <= 0 then invalid_arg "Histogram.create: need at least one bucket";
+  { base; factor; counts = Array.make buckets 0; total = 0 }
+
+let bucket_index t v =
+  if v < t.base then 0
+  else begin
+    let i = int_of_float (log (v /. t.base) /. log t.factor) in
+    Int.min i (Array.length t.counts - 1)
+  end
+
+let add t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bucket_counts t = Array.copy t.counts
+let bucket_lower_bound t i = t.base *. (t.factor ** float_of_int i)
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  let target = q *. float_of_int t.total in
+  let rec scan i acc =
+    if i >= Array.length t.counts - 1 then bucket_lower_bound t i
+    else begin
+      let acc = acc +. float_of_int t.counts.(i) in
+      if acc >= target then bucket_lower_bound t i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.0
+
+let pp ppf t =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+  let max_count = Array.fold_left Int.max 1 t.counts in
+  let first_nonempty = ref (Array.length t.counts) in
+  let last_nonempty = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if i < !first_nonempty then first_nonempty := i;
+        if i > !last_nonempty then last_nonempty := i
+      end)
+    t.counts;
+  if !last_nonempty < 0 then Format.fprintf ppf "(empty)"
+  else begin
+    Format.fprintf ppf "[%g..%g] "
+      (bucket_lower_bound t !first_nonempty)
+      (bucket_lower_bound t (!last_nonempty + 1));
+    for i = !first_nonempty to !last_nonempty do
+      let level = t.counts.(i) * (Array.length glyphs - 1) / max_count in
+      Format.pp_print_char ppf glyphs.(level)
+    done
+  end

@@ -1,0 +1,82 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.  Chosen over
+   [Random] because we need many independent, reproducible streams whose
+   states we can copy and split cheaply. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  (* xoshiro must not be seeded with the all-zero state. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed (bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec draw () =
+    let v = Int64.to_int (bits64 t) land mask in
+    let r = v mod bound in
+    if v - r > mask - bound + 1 then draw () else r
+  in
+  draw ()
+
+let float t bound =
+  (* 53 random mantissa bits, as in the reference implementation. *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v *. 0x1.0p-53)
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+let bernoulli t p = float t 1.0 < p
+
+let geometric_level t ~p ~max_level =
+  let rec grow level =
+    if level >= max_level then max_level
+    else if bernoulli t p then grow (level + 1)
+    else level
+  in
+  grow 1
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* [u] is in [0, 1); shift away from 0 so that [log] is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

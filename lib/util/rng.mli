@@ -1,0 +1,49 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    All randomness in the repository — skiplist level draws, workload coin
+    flips, key draws, funnel slot choices — flows through this module so that
+    a whole experiment is a pure function of its seed.  The generator is
+    xoshiro256**, seeded through splitmix64 as its authors recommend. *)
+
+type t
+(** A single generator stream.  Not thread-safe; use one stream per (virtual)
+    processor, created with {!split} or {!of_seed}. *)
+
+val of_seed : int64 -> t
+(** [of_seed s] creates a stream from a 64-bit seed.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent stream from [t], advancing [t].  Used to
+    give each virtual processor its own stream from an experiment seed. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state of [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric_level : t -> p:float -> max_level:int -> int
+(** [geometric_level t ~p ~max_level] draws a skiplist node height: starts at
+    1 and increments while a coin with success probability [p] keeps coming
+    up heads, truncated at [max_level] (the paper's [randomLevel], Fig. 9). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution; used by the
+    event-simulation example. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by the stream. *)

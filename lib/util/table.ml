@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let float_cell ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let render ?align ~header rows =
+  let columns = List.length header in
+  let pad_row row =
+    let len = List.length row in
+    if len > columns then invalid_arg "Table.render: row wider than header";
+    row @ List.init (columns - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let align =
+    match align with
+    | Some a when List.length a = columns -> a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> List.init columns (fun _ -> Right)
+  in
+  let widths = Array.make columns 0 in
+  let observe row =
+    List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)) row
+  in
+  observe header;
+  List.iter observe rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = widths.(i) - String.length cell in
+        if i > 0 then Buffer.add_string buf "  ";
+        match List.nth align i with
+        | Right ->
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        | Left ->
+          Buffer.add_string buf cell;
+          if i < columns - 1 then Buffer.add_string buf (String.make pad ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = List.init columns (fun i -> String.make widths.(i) '-') in
+  emit_row rule;
+  List.iter emit_row rows;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment output.
+
+    The experiment harness prints results in the same row/column layout as
+    the paper's figures; this module handles alignment. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out [rows] under [header] with columns padded
+    to the widest cell.  [align] defaults to [Right] for every column.
+    Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering with a sensible default of 1 decimal. *)

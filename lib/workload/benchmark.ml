@@ -1,0 +1,133 @@
+module Machine = Repro_sim.Machine
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+type workload = {
+  procs : int;
+  initial_size : int;
+  total_ops : int;
+  insert_ratio : float;
+  work_cycles : int;
+  key_range : int;
+  seed : int64;
+}
+
+let default_workload =
+  {
+    procs = 16;
+    initial_size = 50;
+    total_ops = 7_000;
+    insert_ratio = 0.5;
+    work_cycles = 100;
+    key_range = 1 lsl 20;
+    seed = 1L;
+  }
+
+type measurement = {
+  insert_latency : Stats.t;
+  delete_latency : Stats.t;
+  overall_latency : Stats.t;
+  insert_histogram : Repro_util.Histogram.t;
+  delete_histogram : Repro_util.Histogram.t;
+  end_time : int;
+  final_size : int;
+  machine : Repro_sim.Machine.report;
+  queue_stats : string list;
+}
+
+let run ?config (impl : Queue_adapter.impl) w =
+  if w.procs < 1 then invalid_arg "Benchmark.run: procs < 1";
+  if w.insert_ratio < 0.0 || w.insert_ratio > 1.0 then
+    invalid_arg "Benchmark.run: insert_ratio outside [0, 1]";
+  let insert_stats = Array.init w.procs (fun _ -> Stats.create ()) in
+  let delete_stats = Array.init w.procs (fun _ -> Stats.create ()) in
+  (* Histograms tolerate concurrent adds from virtual processors: the
+     simulator serializes them. *)
+  let insert_histogram = Repro_util.Histogram.create ~base:10.0 ~factor:1.3 () in
+  let delete_histogram = Repro_util.Histogram.create ~base:10.0 ~factor:1.3 () in
+  let first_op_time = ref max_int in
+  let last_op_time = ref 0 in
+  let final_size = ref 0 in
+  let queue_stats = ref [] in
+  let report =
+    Machine.run ?config (fun () ->
+        let q = impl.Queue_adapter.create () in
+        let root_rng = Rng.of_seed w.seed in
+        for i = 0 to w.initial_size - 1 do
+          q.Queue_adapter.insert (Rng.int root_rng w.key_range) (1_000_000_000 + i)
+        done;
+        let start_time = Machine.probe_time () in
+        if start_time < !first_op_time then first_op_time := start_time;
+        let ops_for p =
+          (* split total_ops as evenly as possible *)
+          (w.total_ops / w.procs) + (if p < w.total_ops mod w.procs then 1 else 0)
+        in
+        for p = 0 to w.procs - 1 do
+          let rng = Rng.of_seed (Int64.add w.seed (Int64.of_int (0x1234 + p))) in
+          Machine.spawn (fun () ->
+              let ops = ops_for p in
+              for i = 0 to ops - 1 do
+                Machine.work w.work_cycles;
+                let t0 = Machine.probe_time () in
+                if Rng.bernoulli rng w.insert_ratio then begin
+                  let key = Rng.int rng w.key_range in
+                  q.Queue_adapter.insert key ((p * 1_000_000) + i);
+                  let dt = float_of_int (Machine.probe_time () - t0) in
+                  Stats.add insert_stats.(p) dt;
+                  Repro_util.Histogram.add insert_histogram dt
+                end
+                else begin
+                  ignore (q.Queue_adapter.delete_min ());
+                  let dt = float_of_int (Machine.probe_time () - t0) in
+                  Stats.add delete_stats.(p) dt;
+                  Repro_util.Histogram.add delete_histogram dt
+                end
+              done;
+              let t = Machine.probe_time () in
+              if t > !last_op_time then last_op_time := t)
+        done;
+        (* Post-mortem processor: runs after everything quiesced, counts
+           the remaining elements without perturbing the measurements. *)
+        Machine.spawn (fun () ->
+            (* far beyond any workload's finish time, safely below overflow *)
+            Machine.work (1 lsl 55);
+            let rec count n =
+              match q.Queue_adapter.delete_min () with
+              | None -> n
+              | Some _ -> count (n + 1)
+            in
+            final_size := count 0;
+            queue_stats := q.Queue_adapter.describe_stats ()))
+  in
+  let merge arr = Array.fold_left Stats.merge (Stats.create ()) arr in
+  let insert_latency = merge insert_stats in
+  let delete_latency = merge delete_stats in
+  {
+    insert_latency;
+    delete_latency;
+    overall_latency = Stats.merge insert_latency delete_latency;
+    insert_histogram;
+    delete_histogram;
+    end_time = !last_op_time - !first_op_time;
+    final_size = !final_size;
+    machine = report;
+    queue_stats = !queue_stats;
+  }
+
+let pp_measurement ppf m =
+  let quantile h q =
+    if Repro_util.Histogram.count h = 0 then 0.0 else Repro_util.Histogram.quantile h q
+  in
+  Format.fprintf ppf
+    "@[<v>inserts: %d ops, mean %.0f cycles (p50 %.0f, p99 %.0f)@,\
+     deletes: %d ops, mean %.0f cycles (p50 %.0f, p99 %.0f)@,\
+     makespan: %d cycles, final size %d@]"
+    (Stats.count m.insert_latency)
+    (Stats.mean m.insert_latency)
+    (quantile m.insert_histogram 0.5)
+    (quantile m.insert_histogram 0.99)
+    (Stats.count m.delete_latency)
+    (Stats.mean m.delete_latency)
+    (quantile m.delete_histogram 0.5)
+    (quantile m.delete_histogram 0.99)
+    m.end_time m.final_size

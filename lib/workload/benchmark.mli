@@ -1,0 +1,48 @@
+(** The paper's synthetic benchmark (§5), run on the simulator.
+
+    Processors alternate between [work_cycles] of local work and one queue
+    operation; each operation is an Insert of a uniformly random priority
+    with probability [insert_ratio], a Delete-min otherwise.  The structure
+    is pre-populated with [initial_size] random elements before the
+    processors start, and per-operation latency (in simulated machine
+    cycles, measured with the free probe) is accumulated separately for
+    Inserts and Delete-mins. *)
+
+type workload = {
+  procs : int;
+  initial_size : int;
+  total_ops : int;  (** split evenly over the processors *)
+  insert_ratio : float;
+  work_cycles : int;
+  key_range : int;
+  seed : int64;
+}
+
+val default_workload : workload
+(** 16 procs, 50 initial, 7000 ops, 50% inserts, 100 cycles work, keys
+    below 2^20, seed 1. *)
+
+type measurement = {
+  insert_latency : Repro_util.Stats.t;
+  delete_latency : Repro_util.Stats.t;
+  overall_latency : Repro_util.Stats.t;
+  insert_histogram : Repro_util.Histogram.t;
+      (** log-bucketed latency distribution; tail quantiles via
+          {!Repro_util.Histogram.quantile} *)
+  delete_histogram : Repro_util.Histogram.t;
+  end_time : int;  (** simulated cycles from first to last operation *)
+  final_size : int;  (** structure size at quiescence *)
+  machine : Repro_sim.Machine.report;
+  queue_stats : string list;
+}
+
+val run :
+  ?config:Repro_sim.Memory_model.config ->
+  Queue_adapter.impl ->
+  workload ->
+  measurement
+(** Deterministic: equal [config], [impl], [workload] (and therefore seed)
+    give byte-equal measurements.  [config] overrides the default memory
+    model — used by the model-sensitivity ablation. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

@@ -1,0 +1,577 @@
+module Stats = Repro_util.Stats
+module Table = Repro_util.Table
+
+type result = {
+  id : string;
+  title : string;
+  body : string;
+  indicators : (string * float) list;
+  data : (string * (float * float * float) list) list;
+}
+
+type options = { scale : float; max_procs_log2 : int; progress : string -> unit }
+
+let default_options = { scale = 1.0; max_procs_log2 = 8; progress = ignore }
+
+let to_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,x,delete_latency,insert_latency\n";
+  List.iter
+    (fun (name, rows) ->
+      List.iter
+        (fun (x, d, i) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%g,%g,%g\n" name x d i))
+        rows)
+    r.data;
+  Buffer.contents buf
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ r.id ^ " — " ^ r.title ^ " ==\n\n");
+  Buffer.add_string buf r.body;
+  if r.indicators <> [] then begin
+    Buffer.add_string buf "\nShape indicators:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-55s %8.2f\n" name v))
+      r.indicators
+  end;
+  Buffer.contents buf
+
+let scaled options n = Int.max 400 (int_of_float (float_of_int n *. options.scale))
+let proc_counts options = List.init (options.max_procs_log2 + 1) (fun i -> 1 lsl i)
+
+(* Run one implementation across the processor sweep. *)
+let sweep options ~impl ~workload_of =
+  List.map
+    (fun procs ->
+      options.progress (Printf.sprintf "%s @ %d procs" impl.Queue_adapter.name procs);
+      (procs, Benchmark.run impl (workload_of procs)))
+    (proc_counts options)
+
+(* The paper's figures are log-log latency curves; render an ASCII
+   approximation under the tables so crossovers are visible at a glance. *)
+let latency_plot ~series of_measurement ~title =
+  let markers = [| '#'; 'o'; '+'; 'x'; '*'; '@' |] in
+  let plot_series =
+    List.mapi
+      (fun i (name, points) ->
+        {
+          Repro_util.Ascii_plot.label = name;
+          marker = markers.(i mod Array.length markers);
+          points =
+            List.map
+              (fun (procs, m) -> (float_of_int procs, of_measurement m))
+              points;
+        })
+      series
+  in
+  title ^ "\n"
+  ^ Repro_util.Ascii_plot.render ~width:64 ~height:16
+      ~x_scale:Repro_util.Ascii_plot.Log2 ~y_scale:Repro_util.Ascii_plot.Log10
+      ~x_label:"processors" ~y_label:"cycles (log10)" plot_series
+
+let latency_tables ~series =
+  (* [series]: (name, (procs, measurement) list) list.  Two tables in the
+     paper's layout: deletions then insertions, one column per
+     structure. *)
+  let procs = List.map fst (snd (List.hd series)) in
+  let header = "procs" :: List.map fst series in
+  let table of_measurement =
+    let rows =
+      List.map
+        (fun n ->
+          string_of_int n
+          :: List.map
+               (fun (_, points) ->
+                 let m = List.assoc n points in
+                 Table.float_cell ~decimals:0 (of_measurement m))
+               series)
+        procs
+    in
+    Table.render ~header rows
+  in
+  let delete m = Stats.mean m.Benchmark.delete_latency in
+  let insert m = Stats.mean m.Benchmark.insert_latency in
+  "Average Delete-min latency (simulated cycles)\n" ^ table delete
+  ^ "\nAverage Insert latency (simulated cycles)\n" ^ table insert
+  ^ "\n"
+  ^ latency_plot ~series delete ~title:"Delete-min latency"
+  ^ "\n"
+  ^ latency_plot ~series insert ~title:"Insert latency"
+
+let at series name procs =
+  let points = List.assoc name series in
+  List.assoc procs points
+
+let ratio_indicator series ~slow ~fast ~procs f label =
+  let s = f (at series slow procs) and q = f (at series fast procs) in
+  (label, if q = 0.0 then nan else s /. q)
+
+let del m = Stats.mean m.Benchmark.delete_latency
+let ins m = Stats.mean m.Benchmark.insert_latency
+
+let series_data series =
+  List.map
+    (fun (name, points) ->
+      (name, List.map (fun (x, m) -> (float_of_int x, del m, ins m)) points))
+    series
+
+(* Find the smallest processor count from which [fast] stays at or below
+   [slow] for the rest of the sweep — the crossover the paper narrates. *)
+let crossover series ~slow ~fast f =
+  let points_slow = List.assoc slow series and points_fast = List.assoc fast series in
+  let rec scan = function
+    | [] -> nan
+    | (n, _) :: _
+      when List.for_all
+             (fun (m, mf) -> m < n || f mf <= f (List.assoc m points_slow))
+             points_fast -> float_of_int n
+    | _ :: rest -> scan rest
+  in
+  scan points_fast
+
+(* ------------------------------------------------------------------ *)
+
+let base_workload options ~procs ~initial ~ops ~insert_ratio ~work =
+  {
+    Benchmark.procs;
+    initial_size = initial;
+    total_ops = scaled options ops;
+    insert_ratio;
+    work_cycles = work;
+    key_range = 1 lsl 20;
+    seed = 42L;
+  }
+
+let fig2 options =
+  let works = [ 100; 1000; 2000; 3000; 4000; 5000; 6000 ] in
+  let impl = Queue_adapter.Sim.skipqueue () in
+  let measurements =
+    List.map
+      (fun work ->
+        options.progress (Printf.sprintf "fig2: work=%d" work);
+        let w =
+          base_workload options ~procs:(1 lsl options.max_procs_log2) ~initial:1000
+            ~ops:70_000 ~insert_ratio:0.5 ~work
+        in
+        (work, Benchmark.run impl w))
+      works
+  in
+  let rows =
+    List.map
+      (fun (work, m) ->
+        [
+          string_of_int work;
+          Table.float_cell ~decimals:0 (del m);
+          Table.float_cell ~decimals:0 (ins m);
+        ])
+      measurements
+  in
+  let body =
+    Printf.sprintf
+      "SkipQueue latency vs. amount of local work (%d processes, 1000 initial elements)\n"
+      (1 lsl options.max_procs_log2)
+    ^ Table.render ~header:[ "work"; "delete_min latency"; "insert latency" ] rows
+  in
+  let first = List.assoc 100 measurements and last = List.assoc 6000 measurements in
+  {
+    id = "fig2";
+    title = "latency vs. local work amount";
+    body;
+    indicators =
+      [
+        ("delete latency drop, work 100 -> 6000 (paper ~2.7x)", del first /. del last);
+        ("insert latency drop, work 100 -> 6000 (paper ~2.5x)", ins first /. ins last);
+      ];
+    data =
+      [
+        ( "SkipQueue",
+          List.map (fun (work, m) -> (float_of_int work, del m, ins m)) measurements );
+      ];
+  }
+
+let heap_capacity options ~initial ~ops =
+  initial + scaled options ops + 100
+
+let comparison_figure options ~id ~title ~initial ~ops ~insert_ratio ~with_funnel_list
+    ~funnel_list_ops_scale =
+  let impls =
+    [ Queue_adapter.Sim.hunt_heap
+        ~capacity:(heap_capacity options ~initial ~ops) ();
+      Queue_adapter.Sim.skipqueue () ]
+    @ (if with_funnel_list then [ Queue_adapter.Sim.funnel_list () ] else [])
+  in
+  let series =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          let w = base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100 in
+          if impl.Queue_adapter.name = "FunnelList" then
+            {
+              w with
+              Benchmark.total_ops =
+                Int.max 400
+                  (int_of_float (float_of_int w.Benchmark.total_ops *. funnel_list_ops_scale));
+            }
+          else w
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  let indicators =
+    [
+      ratio_indicator series ~slow:"Heap" ~fast:"SkipQueue" ~procs:top del
+        (Printf.sprintf "Heap/SkipQueue deletion latency @%d" top);
+      ratio_indicator series ~slow:"Heap" ~fast:"SkipQueue" ~procs:top ins
+        (Printf.sprintf "Heap/SkipQueue insertion latency @%d" top);
+    ]
+    @
+    if with_funnel_list then
+      [
+        ratio_indicator series ~slow:"FunnelList" ~fast:"SkipQueue" ~procs:top del
+          (Printf.sprintf "FunnelList/SkipQueue deletion latency @%d" top);
+        ( "crossover procs: SkipQueue beats FunnelList (deletions)",
+          crossover series ~slow:"FunnelList" ~fast:"SkipQueue" del );
+        ( "crossover procs: SkipQueue beats FunnelList (insertions)",
+          crossover series ~slow:"FunnelList" ~fast:"SkipQueue" ins );
+      ]
+    else []
+  in
+  let note =
+    if with_funnel_list && funnel_list_ops_scale < 1.0 then
+      Printf.sprintf
+        "(FunnelList measured over %.0f%% of the operations — linear-time \
+         operations make full runs impractically slow to simulate; per-operation \
+         latency is unaffected.)\n"
+        (100.0 *. funnel_list_ops_scale)
+    else ""
+  in
+  { id; title; body = latency_tables ~series ^ note; indicators; data = series_data series }
+
+let fig3 options =
+  comparison_figure options ~id:"fig3"
+    ~title:"small structure (50 initial, 70000 ops, 50% inserts)" ~initial:50
+    ~ops:70_000 ~insert_ratio:0.5 ~with_funnel_list:true ~funnel_list_ops_scale:1.0
+
+let fig4 options =
+  comparison_figure options ~id:"fig4"
+    ~title:"large structure (1000 initial, 70000 ops, 50% inserts)" ~initial:1000
+    ~ops:70_000 ~insert_ratio:0.5 ~with_funnel_list:true ~funnel_list_ops_scale:0.1
+
+let fig5 options =
+  comparison_figure options ~id:"fig5"
+    ~title:"70% deletions (27000 initial, 60000 ops, 30% inserts)" ~initial:27_000
+    ~ops:60_000 ~insert_ratio:0.3 ~with_funnel_list:false ~funnel_list_ops_scale:1.0
+
+let relaxed_figure options ~id ~title ~initial ~ops ~insert_ratio =
+  let impls =
+    [ Queue_adapter.Sim.skipqueue (); Queue_adapter.Sim.relaxed_skipqueue () ]
+  in
+  let series =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  {
+    id;
+    title;
+    body = latency_tables ~series;
+    indicators =
+      [
+        ratio_indicator series ~slow:"SkipQueue" ~fast:"Relaxed SkipQueue" ~procs:top
+          del
+          (Printf.sprintf "strict/relaxed deletion latency @%d (paper: up to 2x)" top);
+        ratio_indicator series ~slow:"Relaxed SkipQueue" ~fast:"SkipQueue" ~procs:top
+          ins
+          (Printf.sprintf "relaxed/strict insertion latency @%d (paper: >= 1)" top);
+      ];
+    data = series_data series;
+  }
+
+let fig6 options =
+  relaxed_figure options ~id:"fig6"
+    ~title:"SkipQueue vs Relaxed, small structure (50 initial, 7000 ops)" ~initial:50
+    ~ops:7_000 ~insert_ratio:0.5
+
+let fig7 options =
+  relaxed_figure options ~id:"fig7"
+    ~title:"SkipQueue vs Relaxed, large structure (1000 initial, 7000 ops)"
+    ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+
+let fig8 options =
+  relaxed_figure options ~id:"fig8"
+    ~title:"SkipQueue vs Relaxed, 70% deletions (27000 initial, 60000 ops)"
+    ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3
+
+let ablation_funnel_front options =
+  let impls =
+    [ Queue_adapter.Sim.skipqueue (); Queue_adapter.Sim.funneled_skipqueue () ]
+  in
+  let series =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          base_workload options ~procs ~initial:50 ~ops:7_000 ~insert_ratio:0.5
+            ~work:100
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  {
+    id = "ablation-funnel-front";
+    title = "funnel-regulated Delete-min vs racing SWAPs (the design §5 rejects)";
+    body = latency_tables ~series;
+    data = series_data series;
+    indicators =
+      [
+        ratio_indicator series ~slow:"SkipQueue + delete funnel" ~fast:"SkipQueue"
+          ~procs:top del
+          (Printf.sprintf "funneled/plain deletion latency @%d (paper: > 1 at high \
+                           concurrency)" top);
+      ];
+  }
+
+let ablation_skiplist_params options =
+  let variants =
+    [
+      ("p=0.50 maxlvl=20", Queue_adapter.Sim.skipqueue ~p:0.5 ~max_level:20 ());
+      ("p=0.25 maxlvl=20", Queue_adapter.Sim.skipqueue ~p:0.25 ~max_level:20 ());
+      ("p=0.75 maxlvl=20", Queue_adapter.Sim.skipqueue ~p:0.75 ~max_level:20 ());
+      ("p=0.50 maxlvl=10", Queue_adapter.Sim.skipqueue ~p:0.5 ~max_level:10 ());
+      ("p=0.50 maxlvl=5", Queue_adapter.Sim.skipqueue ~p:0.5 ~max_level:5 ());
+    ]
+  in
+  let series =
+    List.map
+      (fun (name, impl) ->
+        let workload_of procs =
+          base_workload options ~procs ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+            ~work:100
+        in
+        (name, sweep options ~impl ~workload_of))
+      variants
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  {
+    id = "ablation-skiplist-params";
+    title = "SkipQueue sensitivity to p and max_level (1000 initial, 7000 ops)";
+    body = latency_tables ~series;
+    data = series_data series;
+    indicators =
+      [
+        ratio_indicator series ~slow:"p=0.50 maxlvl=5" ~fast:"p=0.50 maxlvl=20"
+          ~procs:top ins
+          "insertion penalty of starving levels (maxlvl 5 vs 20)";
+      ];
+  }
+
+let ablation_timestamp options =
+  (* Same workload strict vs relaxed, but report the queues' internal hunt
+     statistics rather than latency. *)
+  let run impl =
+    let w =
+      base_workload options ~procs:(1 lsl options.max_procs_log2) ~initial:50
+        ~ops:7_000 ~insert_ratio:0.5 ~work:100
+    in
+    options.progress (Printf.sprintf "timestamp ablation: %s" impl.Queue_adapter.name);
+    Benchmark.run impl w
+  in
+  let strict = run (Queue_adapter.Sim.skipqueue ()) in
+  let relaxed = run (Queue_adapter.Sim.relaxed_skipqueue ()) in
+  let line name m =
+    Printf.sprintf "%-18s delete mean %8.0f  insert mean %8.0f  %s\n" name
+      (del m) (ins m)
+      (String.concat " " m.Benchmark.queue_stats)
+  in
+  {
+    id = "ablation-timestamp";
+    title = "cost decomposition of the timestamp mechanism (256 procs, small queue)";
+    body = line "strict" strict ^ line "relaxed" relaxed;
+    data = [];
+    indicators =
+      [
+        ("strict/relaxed deletion latency", del strict /. del relaxed);
+        ("relaxed/strict insertion latency", ins relaxed /. ins strict);
+      ];
+  }
+
+let ablation_reclamation options =
+  let impls =
+    [
+      Queue_adapter.Sim.skipqueue ();
+      Queue_adapter.Sim.skipqueue_with_reclamation ();
+    ]
+  in
+  let series =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          base_workload options ~procs ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+            ~work:100
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  let stats_line =
+    let m = at series "SkipQueue + reclamation" top in
+    String.concat " " m.Benchmark.queue_stats
+  in
+  {
+    id = "ablation-reclamation";
+    data = series_data series;
+    title = "overhead of the live reclamation protocol (dedicated collector, §3)";
+    body =
+      latency_tables ~series
+      ^ Printf.sprintf "\nreclamation at %d procs: %s\n" top stats_line;
+    indicators =
+      [
+        ratio_indicator series ~slow:"SkipQueue + reclamation" ~fast:"SkipQueue"
+          ~procs:top del
+          (Printf.sprintf "reclamation/plain deletion latency @%d" top);
+        ratio_indicator series ~slow:"SkipQueue + reclamation" ~fast:"SkipQueue"
+          ~procs:top ins
+          (Printf.sprintf "reclamation/plain insertion latency @%d" top);
+      ];
+  }
+
+(* The paper's §1.1/§2 positioning: bounded-range bin queues win when the
+   priority set is small and known, and stop being viable as the range
+   grows — which is the case the SkipQueue exists for. *)
+let ablation_bounded_range options =
+  let sub ~range ~ops_scale =
+    let impls =
+      [ Queue_adapter.Sim.bin_queue ~range (); Queue_adapter.Sim.skipqueue () ]
+    in
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          let w =
+            base_workload options ~procs ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+              ~work:100
+          in
+          let total_ops =
+            (* The sparse bin queue's stale-hint scans make its operations
+               linear in the range; cap the operation count as for the
+               FunnelList in fig4 — per-operation latency is unaffected. *)
+            if impl.Queue_adapter.name <> "SkipQueue" then
+              Int.max 400 (int_of_float (float_of_int w.Benchmark.total_ops *. ops_scale))
+            else w.Benchmark.total_ops
+          in
+          { w with Benchmark.key_range = range; total_ops }
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let dense = sub ~range:256 ~ops_scale:1.0 in
+  let sparse = sub ~range:65_536 ~ops_scale:0.2 in
+  let top = 1 lsl options.max_procs_log2 in
+  {
+    id = "ablation-bounded-range";
+    title = "bounded-range bin queue [39] vs SkipQueue (1000 initial, 7000 ops)";
+    data = series_data dense @ series_data sparse;
+    body =
+      "Dense priorities (range 256 — the bin queue's home turf)\n"
+      ^ latency_tables ~series:dense
+      ^ "\nSparse priorities (range 65536 — the general case)\n"
+      ^ latency_tables ~series:sparse;
+    indicators =
+      [
+        ratio_indicator dense ~slow:"SkipQueue" ~fast:"BinQueue(256)" ~procs:top del
+          (Printf.sprintf "SkipQueue/BinQueue deletion @%d, dense range" top);
+        ratio_indicator sparse ~slow:"BinQueue(65536)" ~fast:"SkipQueue" ~procs:top
+          del
+          (Printf.sprintf "BinQueue/SkipQueue deletion @%d, sparse range" top);
+      ];
+  }
+
+(* Which ingredient of the memory model produces which phenomenon: rerun a
+   contended workload with individual cost mechanisms switched off. *)
+let ablation_memory_model options =
+  let module MM = Repro_sim.Memory_model in
+  let configs =
+    [
+      ("full model", MM.default);
+      ("no line queueing", { MM.default with MM.occupancy = 0; swap_extra = 0 });
+      ("no node bandwidth", { MM.default with MM.node_occupancy = 0 });
+      ("flat memory", MM.sequential);
+    ]
+  in
+  let procs = Int.min 64 (1 lsl options.max_procs_log2) in
+  let impls =
+    [ Queue_adapter.Sim.hunt_heap (); Queue_adapter.Sim.skipqueue () ]
+  in
+  let w = base_workload options ~procs ~initial:50 ~ops:7_000 ~insert_ratio:0.5 ~work:100 in
+  let cell = Table.float_cell ~decimals:0 in
+  let measurements =
+    List.map
+      (fun (cname, config) ->
+        ( cname,
+          List.map
+            (fun impl ->
+              options.progress
+                (Printf.sprintf "memory-model ablation: %s under %s"
+                   impl.Queue_adapter.name cname);
+              (impl.Queue_adapter.name, Benchmark.run ~config impl w))
+            impls ))
+      configs
+  in
+  let rows =
+    List.map
+      (fun (cname, ms) ->
+        let heap = List.assoc "Heap" ms and sq = List.assoc "SkipQueue" ms in
+        [ cname; cell (del heap); cell (ins heap); cell (del sq); cell (ins sq) ])
+      measurements
+  in
+  let body =
+    Printf.sprintf
+      "Heap and SkipQueue at %d processors (fig3 workload) under reduced memory models\n"
+      procs
+    ^ Table.render
+        ~align:[ Table.Left; Right; Right; Right; Right ]
+        ~header:[ "model"; "heap del"; "heap ins"; "sq del"; "sq ins" ]
+        rows
+  in
+  let get cname impl_name =
+    List.assoc impl_name (List.assoc cname measurements)
+  in
+  {
+    id = "ablation-memory-model";
+    title = "which cost-model ingredient produces which phenomenon";
+    body;
+    data = [];
+    indicators =
+      [
+        ( "heap deletion: full / no-line-queueing (hot-spot share)",
+          del (get "full model" "Heap") /. del (get "no line queueing" "Heap") );
+        ( "skipqueue deletion: full / no-node-bandwidth (bandwidth share)",
+          del (get "full model" "SkipQueue")
+          /. del (get "no node bandwidth" "SkipQueue") );
+        ( "heap/skipqueue deletion ratio surviving a flat memory",
+          del (get "flat memory" "Heap") /. del (get "flat memory" "SkipQueue") );
+      ];
+  }
+
+let all =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("ablation-funnel-front", ablation_funnel_front);
+    ("ablation-skiplist-params", ablation_skiplist_params);
+    ("ablation-timestamp", ablation_timestamp);
+    ("ablation-reclamation", ablation_reclamation);
+    ("ablation-bounded-range", ablation_bounded_range);
+    ("ablation-memory-model", ablation_memory_model);
+  ]

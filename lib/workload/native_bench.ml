@@ -1,0 +1,84 @@
+module Stats = Repro_util.Stats
+module Rng = Repro_util.Rng
+module Native = Repro_runtime.Native_runtime
+
+type measurement = {
+  insert_latency_ns : Stats.t;
+  delete_latency_ns : Stats.t;
+  wall_ns : float;
+  throughput_ops_per_sec : float;
+  final_size : int;
+}
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let run (impl : Queue_adapter.impl) (w : Benchmark.workload) =
+  if w.procs < 1 then invalid_arg "Native_bench.run: procs < 1";
+  let q = impl.Queue_adapter.create () in
+  let root_rng = Rng.of_seed w.seed in
+  for i = 0 to w.initial_size - 1 do
+    q.Queue_adapter.insert (Rng.int root_rng w.key_range) (1_000_000_000 + i)
+  done;
+  let insert_stats = Array.init w.procs (fun _ -> Stats.create ()) in
+  let delete_stats = Array.init w.procs (fun _ -> Stats.create ()) in
+  let started = now_ns () in
+  Native.run_processors w.procs (fun p ->
+      let rng = Rng.of_seed (Int64.add w.seed (Int64.of_int (0x1234 + p))) in
+      let ops =
+        (w.total_ops / w.procs) + (if p < w.total_ops mod w.procs then 1 else 0)
+      in
+      for i = 0 to ops - 1 do
+        Native.work w.work_cycles;
+        let t0 = now_ns () in
+        if Rng.bernoulli rng w.insert_ratio then begin
+          q.Queue_adapter.insert (Rng.int rng w.key_range) ((p * 1_000_000) + i);
+          Stats.add insert_stats.(p) (now_ns () -. t0)
+        end
+        else begin
+          ignore (q.Queue_adapter.delete_min ());
+          Stats.add delete_stats.(p) (now_ns () -. t0)
+        end
+      done);
+  let wall_ns = now_ns () -. started in
+  let rec drain n =
+    match q.Queue_adapter.delete_min () with None -> n | Some _ -> drain (n + 1)
+  in
+  let final_size = drain 0 in
+  let merge arr = Array.fold_left Stats.merge (Stats.create ()) arr in
+  {
+    insert_latency_ns = merge insert_stats;
+    delete_latency_ns = merge delete_stats;
+    wall_ns;
+    throughput_ops_per_sec = float_of_int w.total_ops /. (wall_ns /. 1e9);
+    final_size;
+  }
+
+let pp_measurement ppf m =
+  Format.fprintf ppf
+    "@[<v>inserts: %d ops, mean %.0f ns@,deletes: %d ops, mean %.0f ns@,\
+     wall: %.2f ms, %.0f ops/s, final size %d@]"
+    (Stats.count m.insert_latency_ns)
+    (Stats.mean m.insert_latency_ns)
+    (Stats.count m.delete_latency_ns)
+    (Stats.mean m.delete_latency_ns)
+    (m.wall_ns /. 1e6) m.throughput_ops_per_sec m.final_size
+
+let sweep ?(progress = ignore) impls ~procs w =
+  let header =
+    "domains" :: List.concat_map (fun i -> [ i.Queue_adapter.name ^ " kops/s" ]) impls
+  in
+  let rows =
+    List.map
+      (fun p ->
+        string_of_int p
+        :: List.map
+             (fun impl ->
+               progress (Printf.sprintf "%s @ %d domains" impl.Queue_adapter.name p);
+               let m = run impl { w with Benchmark.procs = p } in
+               Repro_util.Table.float_cell ~decimals:1
+                 (m.throughput_ops_per_sec /. 1000.0))
+             impls)
+      procs
+  in
+  "Native throughput (thousands of operations per second, wall clock)\n"
+  ^ Repro_util.Table.render ~header rows

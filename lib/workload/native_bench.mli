@@ -1,0 +1,32 @@
+(** The paper's synthetic benchmark on real OCaml 5 domains.
+
+    Complements {!Benchmark} (which measures simulated cycles on the
+    virtual machine): here the processors are actual domains and latencies
+    are nanoseconds from the host's monotonic clock.  On a small host this
+    measures correctness-under-parallelism and single-digit-domain
+    scalability, not the paper's 256-processor regime — that is what the
+    simulator is for. *)
+
+type measurement = {
+  insert_latency_ns : Repro_util.Stats.t;
+  delete_latency_ns : Repro_util.Stats.t;
+  wall_ns : float;  (** whole run, population excluded *)
+  throughput_ops_per_sec : float;
+  final_size : int;
+}
+
+val run : Queue_adapter.impl -> Benchmark.workload -> measurement
+(** Reuses the simulator benchmark's workload record; [work_cycles] is
+    executed as [Native_runtime.work] spins.  The [procs] field is the
+    domain count — keep it near the host's core count. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit
+
+val sweep :
+  ?progress:(string -> unit) ->
+  Queue_adapter.impl list ->
+  procs:int list ->
+  Benchmark.workload ->
+  string
+(** Runs every implementation at every domain count and renders a
+    throughput table. *)

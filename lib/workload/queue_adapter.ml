@@ -1,0 +1,186 @@
+type instance = {
+  insert : int -> int -> unit;
+  delete_min : unit -> (int * int) option;
+  describe_stats : unit -> string list;
+}
+
+type impl = { name : string; create : unit -> instance }
+
+module Key = Repro_pqueue.Key.Int
+
+module Over (R : Repro_runtime.Runtime_intf.S) = struct
+  module SQ = Repro_skipqueue.Skipqueue.Make (R) (Key)
+  module Heap = Repro_heap.Hunt_heap.Make (R) (Key)
+  module FL = Repro_funnel.Funnel_list.Make (R) (Key)
+  module Funnel = Repro_funnel.Combining_funnel.Make (R)
+  module Bins = Repro_funnel.Bin_queue.Make (R)
+
+  let skipqueue_instance ~mode ?p ?max_level ?seed () =
+    let q = SQ.create ~mode ?p ?max_level ?seed () in
+    {
+      insert = (fun k v -> ignore (SQ.insert q k v));
+      delete_min = (fun () -> SQ.delete_min q);
+      describe_stats =
+        (fun () ->
+          let s = SQ.stats q in
+          [
+            Printf.sprintf "hunt_steps=%d" s.SQ.hunt_steps;
+            Printf.sprintf "swap_losses=%d" s.SQ.swap_losses;
+            Printf.sprintf "stale_skips=%d" s.SQ.stale_skips;
+          ]);
+    }
+
+  let skipqueue ?p ?max_level ?seed () =
+    {
+      name = "SkipQueue";
+      create = (fun () -> skipqueue_instance ~mode:SQ.Strict ?p ?max_level ?seed ());
+    }
+
+  (* SkipQueue with the paper's §3 reclamation protocol active and a
+     dedicated collector processor (the paper assigns one processor to
+     garbage collection in its benchmarks).  [spawn_collector] is supplied
+     by the runtime-specific wrapper since spawning differs. *)
+  let skipqueue_with_reclamation ~spawn_collector ~collector_passes
+      ~collector_period () =
+    {
+      name = "SkipQueue + reclamation";
+      create =
+        (fun () ->
+          let recl = SQ.Reclaim.create () in
+          let q = SQ.create ~mode:SQ.Strict ~reclamation:recl () in
+          spawn_collector (fun wait ->
+              for _ = 1 to collector_passes do
+                wait collector_period;
+                ignore (SQ.Reclaim.collect recl)
+              done;
+              (* final sweep once everything quiesced *)
+              wait (1 lsl 45);
+              ignore (SQ.Reclaim.collect recl));
+          {
+            insert = (fun k v -> ignore (SQ.insert q k v));
+            delete_min = (fun () -> SQ.delete_min q);
+            describe_stats =
+              (fun () ->
+                let s = SQ.Reclaim.stats recl in
+                [
+                  Printf.sprintf "retired=%d" s.SQ.Reclaim.retired;
+                  Printf.sprintf "reclaimed=%d" s.SQ.Reclaim.reclaimed;
+                  Printf.sprintf "pending=%d" s.SQ.Reclaim.pending;
+                ]);
+          });
+    }
+
+  let relaxed_skipqueue ?p ?max_level ?seed () =
+    {
+      name = "Relaxed SkipQueue";
+      create = (fun () -> skipqueue_instance ~mode:SQ.Relaxed ?p ?max_level ?seed ());
+    }
+
+  let hunt_heap ?capacity () =
+    {
+      name = "Heap";
+      create =
+        (fun () ->
+          let h = Heap.create ?capacity () in
+          {
+            insert = (fun k v -> Heap.insert h k v);
+            delete_min = (fun () -> Heap.delete_min h);
+            describe_stats = (fun () -> []);
+          });
+    }
+
+  let funnel_list ?layer_widths ?collision_window () =
+    {
+      name = "FunnelList";
+      create =
+        (fun () ->
+          let q = FL.create ?layer_widths ?collision_window () in
+          {
+            insert = (fun k v -> FL.insert q k v);
+            delete_min = (fun () -> FL.delete_min q);
+            describe_stats =
+              (fun () ->
+                let s = FL.funnel_stats q in
+                let module F = Repro_funnel.Combining_funnel.Make (R) in
+                [
+                  Printf.sprintf "batches=%d" s.F.batches;
+                  Printf.sprintf "combines=%d" s.F.combines;
+                  Printf.sprintf "largest_batch=%d" s.F.largest_batch;
+                ]);
+          });
+    }
+
+  let bin_queue ~range () =
+    {
+      name = Printf.sprintf "BinQueue(%d)" range;
+      create =
+        (fun () ->
+          let q = Bins.create ~range () in
+          {
+            insert = (fun k v -> Bins.insert q k v);
+            delete_min = (fun () -> Bins.delete_min q);
+            describe_stats = (fun () -> []);
+          });
+    }
+
+  (* Ablation A1: Delete-mins regulated by a combining funnel in front of
+     the SkipQueue (§5 "We tried using a funnel to regulate access of
+     deleting processors at the bottom level of the SkipList"). *)
+  type funnel_req = { mutable result : (int * int) option; mutable done_ : bool }
+
+  let funneled_skipqueue ?collision_window () =
+    {
+      name = "SkipQueue + delete funnel";
+      create =
+        (fun () ->
+          let q = SQ.create ~mode:SQ.Strict () in
+          let funnel =
+            Funnel.create ?collision_window
+              ~apply:(fun batch ->
+                List.iter
+                  (fun req ->
+                    req.result <- SQ.delete_min q;
+                    req.done_ <- true)
+                  batch)
+              ~is_done:(fun req -> req.done_)
+              ~kind_of:(fun _ -> 0)
+              ()
+          in
+          {
+            insert = (fun k v -> ignore (SQ.insert q k v));
+            delete_min =
+              (fun () ->
+                let req = { result = None; done_ = false } in
+                Funnel.perform funnel req;
+                req.result);
+            describe_stats = (fun () -> []);
+          });
+    }
+end
+
+module Sim = struct
+  module O = Over (Repro_sim.Sim_runtime)
+
+  let skipqueue = O.skipqueue
+  let relaxed_skipqueue = O.relaxed_skipqueue
+  let funneled_skipqueue = O.funneled_skipqueue
+  let hunt_heap = O.hunt_heap
+  let funnel_list = O.funnel_list
+  let bin_queue = O.bin_queue
+
+  let skipqueue_with_reclamation ?(collector_passes = 500)
+      ?(collector_period = 20_000) () =
+    O.skipqueue_with_reclamation
+      ~spawn_collector:(fun body ->
+        Repro_sim.Machine.spawn (fun () -> body Repro_sim.Machine.work))
+      ~collector_passes ~collector_period ()
+end
+
+module Native = struct
+  module O = Over (Repro_runtime.Native_runtime)
+
+  let skipqueue ?seed () = O.skipqueue ?seed ()
+  let relaxed_skipqueue ?seed () = O.relaxed_skipqueue ?seed ()
+  let hunt_heap = O.hunt_heap
+  let funnel_list () = O.funnel_list ()
+end

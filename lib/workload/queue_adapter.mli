@@ -1,0 +1,54 @@
+(** Uniform first-class view of the three competing priority queues (plus
+    variants), as used by the benchmark harness.
+
+    Keys and values are [int] — the benchmarks draw integer priorities and
+    use values as element identifiers, exactly like the paper's synthetic
+    benchmark. *)
+
+type instance = {
+  insert : int -> int -> unit;
+  delete_min : unit -> (int * int) option;
+  describe_stats : unit -> string list;
+      (** implementation-specific counters for the ablation reports *)
+}
+
+type impl = {
+  name : string;
+  create : unit -> instance;
+      (** must be called from inside the target runtime's execution context
+          (e.g. within [Machine.run] for the simulator) *)
+}
+
+(** Implementations over the simulator runtime. *)
+module Sim : sig
+  val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+  val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+
+  val funneled_skipqueue : ?collision_window:int -> unit -> impl
+  (** Ablation A1: a SkipQueue whose Delete-mins are regulated by a
+      combining funnel instead of racing SWAPs down the bottom level — the
+      design §5 reports trying and rejecting above 64 processors. *)
+
+  val skipqueue_with_reclamation :
+    ?collector_passes:int -> ?collector_period:int -> unit -> impl
+  (** Ablation A4: the §3 reclamation protocol live — operations register
+      entry/exit times, deleted nodes are retired to per-processor garbage
+      lists, and a dedicated collector processor sweeps every
+      [collector_period] cycles (default 20000) for [collector_passes]
+      passes (default 500), plus one final sweep after quiescence. *)
+
+  val hunt_heap : ?capacity:int -> unit -> impl
+  val funnel_list : ?layer_widths:int list -> ?collision_window:int -> unit -> impl
+
+  val bin_queue : range:int -> unit -> impl
+  (** The bounded-priority bin queue of [39] — only valid on workloads
+      whose [key_range] does not exceed [range]. *)
+end
+
+(** The same implementations over real domains, for native runs. *)
+module Native : sig
+  val skipqueue : ?seed:int64 -> unit -> impl
+  val relaxed_skipqueue : ?seed:int64 -> unit -> impl
+  val hunt_heap : ?capacity:int -> unit -> impl
+  val funnel_list : unit -> impl
+end

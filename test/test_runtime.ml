@@ -1,0 +1,109 @@
+(* Tests for the native runtime primitives (the simulator backend has its
+   own suite in test_sim.ml). *)
+
+module Native = Repro_runtime.Native_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_shared_cells () =
+  let c = Native.shared 1 in
+  check_int "read initial" 1 (Native.read c);
+  Native.write c 2;
+  check_int "read after write" 2 (Native.read c);
+  check_int "swap returns old" 2 (Native.swap c 3);
+  check_int "swap stored new" 3 (Native.read c)
+
+let test_clock_monotone () =
+  Native.reset_clock ();
+  let last = ref (Native.get_time ()) in
+  for _ = 1 to 1000 do
+    let t = Native.get_time () in
+    check "strictly increasing" true (t > !last);
+    last := t
+  done
+
+let test_clock_total_order_across_domains () =
+  Native.reset_clock ();
+  let per_domain = Array.make 4 [] in
+  Native.run_processors 4 (fun p ->
+      for _ = 1 to 500 do
+        per_domain.(p) <- Native.get_time () :: per_domain.(p)
+      done);
+  (* All observed values are distinct across all domains. *)
+  let all = Array.to_list per_domain |> List.concat in
+  let sorted = List.sort_uniq compare all in
+  check_int "all timestamps distinct" (List.length all) (List.length sorted);
+  (* And each domain saw a monotone sequence. *)
+  Array.iter
+    (fun ts ->
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a > b && mono rest
+        | [] | [ _ ] -> true
+      in
+      check "per-domain monotone" true (mono ts))
+    per_domain
+
+let test_run_processors_joins_all () =
+  let hits = Atomic.make 0 in
+  Native.run_processors 8 (fun _ -> Atomic.incr hits);
+  check_int "all bodies ran" 8 (Atomic.get hits)
+
+let test_run_processors_propagates_exception () =
+  Alcotest.check_raises "exception from a domain" Exit (fun () ->
+      Native.run_processors 3 (fun p -> if p = 1 then raise Exit))
+
+let test_run_processors_rejects_zero () =
+  Alcotest.check_raises "zero processors"
+    (Invalid_argument "Native_runtime.run_processors") (fun () ->
+      Native.run_processors 0 (fun _ -> ()))
+
+let test_locks_mutual_exclusion () =
+  let lock = Native.lock_create () in
+  let counter = ref 0 in
+  Native.run_processors 4 (fun _ ->
+      for _ = 1 to 10_000 do
+        Native.acquire lock;
+        counter := !counter + 1;
+        Native.release lock
+      done);
+  check_int "no lost increments" 40_000 !counter
+
+let test_swap_transfers_tokens () =
+  (* Same invariant as the simulator's atomic-swap test, under real
+     parallelism: initial value + all tokens = returned values + final. *)
+  let c = Native.shared (-1) in
+  let returned = Array.make 4 [] in
+  Native.run_processors 4 (fun p ->
+      for i = 0 to 999 do
+        returned.(p) <- Native.swap c ((p * 1000) + i) :: returned.(p)
+      done);
+  let all = (Native.read c :: (Array.to_list returned |> List.concat)) in
+  let expected = List.init 4000 (fun i -> (i / 1000 * 1000) + (i mod 1000)) in
+  Alcotest.(check (list int))
+    "permutation" (List.sort compare (-1 :: expected)) (List.sort compare all)
+
+let test_work_is_finite () =
+  (* smoke: work must terminate and cost something bounded *)
+  Native.work 0;
+  Native.work 1_000_000;
+  check "done" true true
+
+let () =
+  Alcotest.run "native-runtime"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "shared cells" `Quick test_shared_cells;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "clock total order across domains" `Quick
+            test_clock_total_order_across_domains;
+          Alcotest.test_case "run_processors joins" `Quick test_run_processors_joins_all;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_run_processors_propagates_exception;
+          Alcotest.test_case "rejects zero procs" `Quick test_run_processors_rejects_zero;
+          Alcotest.test_case "lock mutual exclusion" `Quick test_locks_mutual_exclusion;
+          Alcotest.test_case "swap transfers tokens" `Quick test_swap_transfers_tokens;
+          Alcotest.test_case "work terminates" `Quick test_work_is_finite;
+        ] );
+    ]

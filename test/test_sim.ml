@@ -1,0 +1,479 @@
+(* Tests for the Proteus-like simulator: event queue, memory model,
+   scheduling, locks, determinism and deadlock detection. *)
+
+module Machine = Repro_sim.Machine
+module Memory_model = Repro_sim.Memory_model
+module Event_queue = Repro_sim.Event_queue
+module Sim_rt = Repro_sim.Sim_runtime
+module Sim_barrier = Repro_runtime.Barrier.Make (Repro_sim.Sim_runtime)
+module Native_barrier = Repro_runtime.Barrier.Make (Repro_runtime.Native_runtime)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- event queue -------------------------------------------------------- *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.insert q (5, 1) "a";
+  Event_queue.insert q (3, 2) "b";
+  Event_queue.insert q (5, 0) "c";
+  Alcotest.(check (option (pair (pair int int) string)))
+    "min time first" (Some ((3, 2), "b")) (Event_queue.pop_min q);
+  Alcotest.(check (option (pair (pair int int) string)))
+    "sequence breaks ties" (Some ((5, 0), "c")) (Event_queue.pop_min q);
+  Alcotest.(check (option (pair (pair int int) string)))
+    "last" (Some ((5, 1), "a")) (Event_queue.pop_min q);
+  check_bool "empty" true (Event_queue.pop_min q = None)
+
+(* --- memory model ------------------------------------------------------- *)
+
+let test_memory_read_caching () =
+  let sys = Memory_model.make_system Memory_model.default in
+  let meta = Memory_model.make_meta sys ~id:0 in
+  let first = Memory_model.access sys meta ~proc:1 ~now:0 Memory_model.Read in
+  check_bool "first read misses" false first.hit;
+  let second = Memory_model.access sys meta ~proc:1 ~now:100 Memory_model.Read in
+  check_bool "second read hits" true second.hit;
+  let other = Memory_model.access sys meta ~proc:2 ~now:200 Memory_model.Read in
+  check_bool "other proc misses" false other.hit;
+  (* Both procs now share the line. *)
+  let again = Memory_model.access sys meta ~proc:1 ~now:300 Memory_model.Read in
+  check_bool "sharer still hits" true again.hit
+
+let test_memory_write_invalidates () =
+  let sys = Memory_model.make_system Memory_model.default in
+  let meta = Memory_model.make_meta sys ~id:0 in
+  ignore (Memory_model.access sys meta ~proc:1 ~now:0 Memory_model.Read);
+  ignore (Memory_model.access sys meta ~proc:2 ~now:50 Memory_model.Write);
+  (* The exclusive owner keeps writing in cache... *)
+  let owner = Memory_model.access sys meta ~proc:2 ~now:75 Memory_model.Write in
+  check_bool "owner writes in cache" true owner.hit;
+  (* ...until a sharer reads (downgrade), after which writes miss again. *)
+  let reread = Memory_model.access sys meta ~proc:1 ~now:100 Memory_model.Read in
+  check_bool "sharer invalidated" false reread.hit;
+  let after_downgrade = Memory_model.access sys meta ~proc:2 ~now:150 Memory_model.Write in
+  check_bool "downgraded owner must re-fetch" false after_downgrade.hit
+
+let test_memory_hotspot_queues () =
+  (* Ten processors swapping the same location at the same instant must be
+     serialized by the module occupancy. *)
+  let cfg = Memory_model.default in
+  let sys = Memory_model.make_system cfg in
+  let meta = Memory_model.make_meta sys ~id:0 in
+  let finishes =
+    List.init 10 (fun p ->
+        (Memory_model.access sys meta ~proc:p ~now:0 Memory_model.Swap).finish)
+  in
+  let sorted = List.sort compare finishes in
+  Alcotest.(check (list int)) "strictly increasing" sorted finishes;
+  let gap = List.nth finishes 9 - List.nth finishes 0 in
+  check_bool "last waits at least 9 occupancy periods" true
+    (gap >= 9 * (cfg.Memory_model.occupancy + cfg.Memory_model.swap_extra))
+
+let test_memory_swap_orders () =
+  let sys = Memory_model.make_system Memory_model.default in
+  let meta = Memory_model.make_meta sys ~id:0 in
+  let a = Memory_model.access sys meta ~proc:0 ~now:0 Memory_model.Swap in
+  let b = Memory_model.access sys meta ~proc:1 ~now:0 Memory_model.Swap in
+  check_bool "second swap starts after first occupies" true (b.start > a.start)
+
+let test_memory_sequential_config_is_flat () =
+  let sys = Memory_model.make_system Memory_model.sequential in
+  let meta = Memory_model.make_meta sys ~id:0 in
+  let a = Memory_model.access sys meta ~proc:0 ~now:0 Memory_model.Read in
+  let b = Memory_model.access sys meta ~proc:1 ~now:0 Memory_model.Read in
+  check_int "uniform cost a" 1 (a.finish - a.start);
+  check_int "uniform cost b" 1 (b.finish - b.start)
+
+(* --- machine ------------------------------------------------------------ *)
+
+let test_work_advances_time () =
+  let report = Machine.run (fun () -> Machine.work 1234) in
+  check_int "end time" 1234 report.Machine.end_time
+
+let test_time_monotone_per_proc () =
+  let ok = ref true in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        for _ = 0 to 3 do
+          Machine.spawn (fun () ->
+              let last = ref (-1) in
+              for _ = 0 to 99 do
+                let t = Machine.get_time () in
+                if t <= !last then ok := false;
+                last := t;
+                Machine.work 3
+              done)
+        done)
+  in
+  check_bool "clock strictly monotone within a processor" true !ok
+
+let test_spawn_runs_all () =
+  let count = ref 0 in
+  let report = Machine.run (fun () ->
+      for _ = 1 to 50 do
+        Machine.spawn (fun () -> incr count)
+      done)
+  in
+  check_int "all processors ran" 50 !count;
+  check_int "report counts processors" 51 report.Machine.processors
+
+let test_self_ids_distinct () =
+  let ids = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        for _ = 1 to 10 do
+          Machine.spawn (fun () -> ids := Machine.self () :: !ids)
+        done)
+  in
+  let sorted = List.sort_uniq compare !ids in
+  check_int "ten distinct ids" 10 (List.length sorted)
+
+let test_shared_cell_read_write () =
+  let result = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let c = Sim_rt.shared 7 in
+        Sim_rt.write c 41;
+        result := Sim_rt.read c + 1)
+  in
+  check_int "read back" 42 !result
+
+let test_swap_is_atomic_under_contention () =
+  (* 64 processors each swap a unique token into one cell; the multiset of
+     returned values plus the final cell value must be exactly the initial
+     value and all tokens — nothing lost or duplicated. *)
+  let returned = Array.make 64 (-2) in
+  let final = ref (-2) in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let c = Sim_rt.shared (-1) in
+        for p = 0 to 63 do
+          Machine.spawn (fun () -> returned.(p) <- Sim_rt.swap c p)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work 1_000_000;
+            final := Sim_rt.read c))
+  in
+  let all = !final :: Array.to_list returned in
+  let sorted = List.sort compare all in
+  Alcotest.(check (list int)) "permutation of tokens and initial"
+    (List.init 65 (fun i -> i - 1))
+    sorted
+
+let test_lock_mutual_exclusion () =
+  let in_section = ref 0 in
+  let max_in_section = ref 0 in
+  let counter = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let lock = Machine.lock_create () in
+        for _ = 1 to 32 do
+          Machine.spawn (fun () ->
+              for _ = 1 to 5 do
+                Machine.lock_acquire lock;
+                incr in_section;
+                if !in_section > !max_in_section then max_in_section := !in_section;
+                (* do some simulated work inside the section *)
+                Machine.work 20;
+                incr counter;
+                decr in_section;
+                Machine.lock_release lock
+              done)
+        done)
+  in
+  check_int "mutual exclusion" 1 !max_in_section;
+  check_int "all increments happened" 160 !counter
+
+let test_lock_fifo_fairness () =
+  (* Processors spawn staggered so their acquire attempts are ordered;
+     FIFO handoff must serve them in that order. *)
+  let order = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let lock = Machine.lock_create () in
+        Machine.lock_acquire lock;
+        for p = 1 to 8 do
+          Machine.spawn (fun () ->
+              Machine.work (p * 1000);
+              Machine.lock_acquire lock;
+              order := p :: !order;
+              Machine.lock_release lock)
+        done;
+        Machine.work 100_000;
+        Machine.lock_release lock)
+  in
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5; 6; 7; 8 ] (List.rev !order)
+
+let test_release_by_non_holder_fails () =
+  Alcotest.check_raises "release without holding"
+    (Failure "Machine: processor 0 released lock l held by -1") (fun () ->
+      ignore
+        (Machine.run (fun () ->
+             let lock = Machine.lock_create ~name:"l" () in
+             Machine.lock_release lock)))
+
+let test_deadlock_detection () =
+  check_bool "deadlock raised" true
+    (try
+       ignore
+         (Machine.run (fun () ->
+              let a = Machine.lock_create ~name:"a" () in
+              let b = Machine.lock_create ~name:"b" () in
+              Machine.spawn (fun () ->
+                  Machine.lock_acquire a;
+                  Machine.work 1000;
+                  Machine.lock_acquire b);
+              Machine.spawn (fun () ->
+                  Machine.lock_acquire b;
+                  Machine.work 1000;
+                  Machine.lock_acquire a)));
+       false
+     with Machine.Deadlock _ -> true)
+
+let test_determinism () =
+  let run () =
+    let trace = Buffer.create 64 in
+    let report =
+      Machine.run (fun () ->
+          let c = Sim_rt.shared 0 in
+          let lock = Machine.lock_create () in
+          for p = 0 to 15 do
+            Machine.spawn (fun () ->
+                for _ = 0 to 9 do
+                  Machine.lock_acquire lock;
+                  let v = Sim_rt.read c in
+                  Sim_rt.write c (v + 1);
+                  Machine.lock_release lock;
+                  Machine.work ((p * 17) mod 23)
+                done);
+            Buffer.add_string trace (string_of_int p)
+          done)
+    in
+    (Buffer.contents trace, report.Machine.end_time, report.Machine.accesses)
+  in
+  let a = run () and b = run () in
+  check_bool "identical executions" true (a = b)
+
+let test_stats_populated () =
+  let report =
+    Machine.run (fun () ->
+        let c = Sim_rt.shared 0 in
+        let lock = Machine.lock_create () in
+        for _ = 0 to 7 do
+          Machine.spawn (fun () ->
+              Machine.lock_acquire lock;
+              ignore (Sim_rt.swap c 1);
+              Machine.lock_release lock)
+        done)
+  in
+  check_bool "accesses counted" true (report.Machine.accesses > 0);
+  check_bool "swaps counted" true (report.Machine.swaps >= 8);
+  check_int "lock acquisitions" 8 report.Machine.lock_acquisitions;
+  check_bool "some contention" true (report.Machine.lock_contentions > 0)
+
+let test_outside_run_fails () =
+  Alcotest.check_raises "work outside run"
+    (Failure "Machine: operation used outside Machine.run") (fun () -> Machine.work 1)
+
+let test_get_time_reflects_work () =
+  let t1 = ref 0 and t2 = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        t1 := Machine.get_time ();
+        Machine.work 500;
+        t2 := Machine.get_time ())
+  in
+  check_bool "time advanced by work" true (!t2 - !t1 >= 500)
+
+(* Contention shape: the same number of swaps against one location must
+   cost more total simulated time than against distinct locations — the
+   hot-spot phenomenon the paper's results rest on. *)
+let test_hotspot_slower_than_spread () =
+  let elapsed ~shared_loc =
+    let report =
+      Machine.run (fun () ->
+          let cells = Array.init 32 (fun _ -> Sim_rt.shared 0) in
+          for p = 0 to 31 do
+            Machine.spawn (fun () ->
+                let cell = if shared_loc then cells.(0) else cells.(p) in
+                for _ = 0 to 19 do
+                  ignore (Sim_rt.swap cell p)
+                done)
+          done)
+    in
+    report.Machine.end_time
+  in
+  let hot = elapsed ~shared_loc:true in
+  let spread = elapsed ~shared_loc:false in
+  check_bool "hot spot at least 3x slower" true (hot > 3 * spread)
+
+(* --- machine edge cases ---------------------------------------------------- *)
+
+let test_negative_work_clamped () =
+  let report = Machine.run (fun () -> Machine.work (-50)) in
+  check_int "negative work is free, not time travel" 0 report.Machine.end_time
+
+let test_probe_time_is_free () =
+  let t1 = ref 0 and t2 = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        t1 := Machine.probe_time ();
+        t2 := Machine.probe_time ())
+  in
+  check_int "probe does not advance the clock" !t1 !t2
+
+let test_get_time_charges () =
+  let t1 = ref 0 and t2 = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        t1 := Machine.get_time ();
+        t2 := Machine.get_time ())
+  in
+  check_bool "get_time costs cycles" true (!t2 > !t1)
+
+let test_nested_runs () =
+  (* A simulation may be constructed inside another program that itself
+     runs simulations sequentially; two back-to-back runs are independent. *)
+  let r1 = Machine.run (fun () -> Machine.work 10) in
+  let r2 = Machine.run (fun () -> Machine.work 20) in
+  check_int "independent clocks" 10 r1.Machine.end_time;
+  check_int "independent clocks 2" 20 r2.Machine.end_time
+
+let test_spawn_limit () =
+  check_bool "spawn beyond max_procs fails" true
+    (try
+       ignore
+         (Machine.run (fun () ->
+              for _ = 1 to 600 do
+                Machine.spawn (fun () -> ())
+              done));
+       false
+     with Failure _ -> true)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception surfaces" Exit (fun () ->
+      ignore
+        (Machine.run (fun () -> Machine.spawn (fun () -> raise Exit))))
+
+(* --- barrier (generic over RUNTIME, tested on both backends) ------------- *)
+
+let test_barrier_phases_align () =
+  (* Between phases, every processor's counter must agree: nobody enters
+     phase k+1 before all finished phase k. *)
+  let parties = 16 and phases = 5 in
+  let counters = Array.make parties 0 in
+  let violations = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let b = Sim_barrier.create ~parties in
+        for p = 0 to parties - 1 do
+          Machine.spawn (fun () ->
+              for phase = 1 to phases do
+                counters.(p) <- phase;
+                (* stagger arrivals *)
+                Machine.work (1 + ((p * 37) mod 300));
+                Sim_barrier.await b;
+                (* after the barrier, everyone must be at this phase *)
+                Array.iter (fun c -> if c < phase then incr violations) counters
+              done)
+        done)
+  in
+  check_int "no phase skew" 0 !violations
+
+let test_barrier_counts_phases () =
+  let seen = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let b = Sim_barrier.create ~parties:4 in
+        for _ = 1 to 4 do
+          Machine.spawn (fun () ->
+              for _ = 1 to 3 do
+                Sim_barrier.await b
+              done)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work 100_000_000;
+            seen := Sim_barrier.phases b))
+  in
+  check_int "three phases" 3 !seen
+
+let test_barrier_single_party () =
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let b = Sim_barrier.create ~parties:1 in
+        Sim_barrier.await b;
+        Sim_barrier.await b)
+  in
+  ()
+
+let test_barrier_rejects_zero () =
+  Alcotest.check_raises "zero parties" (Invalid_argument "Barrier.create: parties < 1")
+    (fun () ->
+      ignore (Machine.run (fun () -> ignore (Sim_barrier.create ~parties:0))))
+
+let test_barrier_native () =
+  let parties = 4 in
+  Repro_runtime.Native_runtime.reset_clock ();
+  let b = Native_barrier.create ~parties in
+  let log = Array.make parties (-1) in
+  Repro_runtime.Native_runtime.run_processors parties (fun p ->
+      for phase = 0 to 9 do
+        log.(p) <- phase;
+        Native_barrier.await b;
+        (* all domains at or past this phase *)
+        Array.iter (fun v -> assert (v >= phase)) log
+      done);
+  check_int "phases counted" 10 (Native_barrier.phases b)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event-queue",
+        [ Alcotest.test_case "ordering" `Quick test_event_queue_order ] );
+      ( "memory-model",
+        [
+          Alcotest.test_case "read caching" `Quick test_memory_read_caching;
+          Alcotest.test_case "write invalidates" `Quick test_memory_write_invalidates;
+          Alcotest.test_case "hot-spot queueing" `Quick test_memory_hotspot_queues;
+          Alcotest.test_case "swap ordering" `Quick test_memory_swap_orders;
+          Alcotest.test_case "sequential config" `Quick test_memory_sequential_config_is_flat;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "work advances time" `Quick test_work_advances_time;
+          Alcotest.test_case "monotone clocks" `Quick test_time_monotone_per_proc;
+          Alcotest.test_case "spawn runs all" `Quick test_spawn_runs_all;
+          Alcotest.test_case "distinct ids" `Quick test_self_ids_distinct;
+          Alcotest.test_case "shared cells" `Quick test_shared_cell_read_write;
+          Alcotest.test_case "atomic swap" `Quick test_swap_is_atomic_under_contention;
+          Alcotest.test_case "mutual exclusion" `Quick test_lock_mutual_exclusion;
+          Alcotest.test_case "FIFO fairness" `Quick test_lock_fifo_fairness;
+          Alcotest.test_case "release by non-holder" `Quick test_release_by_non_holder_fails;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "stats populated" `Quick test_stats_populated;
+          Alcotest.test_case "outside run fails" `Quick test_outside_run_fails;
+          Alcotest.test_case "get_time reflects work" `Quick test_get_time_reflects_work;
+          Alcotest.test_case "hot spot slower than spread" `Quick
+            test_hotspot_slower_than_spread;
+        ] );
+      ( "machine-edges",
+        [
+          Alcotest.test_case "negative work clamped" `Quick test_negative_work_clamped;
+          Alcotest.test_case "probe_time is free" `Quick test_probe_time_is_free;
+          Alcotest.test_case "get_time charges" `Quick test_get_time_charges;
+          Alcotest.test_case "sequential runs independent" `Quick test_nested_runs;
+          Alcotest.test_case "spawn limit" `Quick test_spawn_limit;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "phases align" `Quick test_barrier_phases_align;
+          Alcotest.test_case "counts phases" `Quick test_barrier_counts_phases;
+          Alcotest.test_case "single party" `Quick test_barrier_single_party;
+          Alcotest.test_case "rejects zero" `Quick test_barrier_rejects_zero;
+          Alcotest.test_case "native domains" `Quick test_barrier_native;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the benchmark harness, the queue adapters, the figure
+   machinery and the simulator's tracing. *)
+
+module Machine = Repro_sim.Machine
+module Trace = Repro_sim.Trace
+module Stats = Repro_util.Stats
+module Benchmark = Repro_workload.Benchmark
+module Native_bench = Repro_workload.Native_bench
+module Figures = Repro_workload.Figures
+module QA = Repro_workload.Queue_adapter
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_workload =
+  {
+    Benchmark.procs = 8;
+    initial_size = 20;
+    total_ops = 400;
+    insert_ratio = 0.5;
+    work_cycles = 100;
+    key_range = 1 lsl 16;
+    seed = 7L;
+  }
+
+let all_sim_impls =
+  [
+    QA.Sim.skipqueue ();
+    QA.Sim.relaxed_skipqueue ();
+    QA.Sim.hunt_heap ();
+    QA.Sim.funnel_list ();
+    QA.Sim.funneled_skipqueue ();
+    QA.Sim.skipqueue_with_reclamation ();
+  ]
+
+(* --- Benchmark.run ------------------------------------------------------- *)
+
+let test_benchmark_determinism () =
+  let fingerprint () =
+    let m = Benchmark.run (QA.Sim.skipqueue ()) tiny_workload in
+    ( Stats.mean m.Benchmark.insert_latency,
+      Stats.mean m.Benchmark.delete_latency,
+      Stats.count m.Benchmark.insert_latency,
+      m.Benchmark.end_time,
+      m.Benchmark.final_size )
+  in
+  check "two runs byte-identical" true (fingerprint () = fingerprint ())
+
+let test_benchmark_seed_changes_run () =
+  let run seed = Benchmark.run (QA.Sim.skipqueue ()) { tiny_workload with seed } in
+  let a = run 1L and b = run 2L in
+  check "different seeds differ" true
+    (Stats.mean a.Benchmark.insert_latency <> Stats.mean b.Benchmark.insert_latency
+    || a.Benchmark.end_time <> b.Benchmark.end_time)
+
+let test_benchmark_op_accounting () =
+  List.iter
+    (fun impl ->
+      let m = Benchmark.run impl tiny_workload in
+      check_int
+        (impl.QA.name ^ ": inserts + deletes = total_ops")
+        tiny_workload.Benchmark.total_ops
+        (Stats.count m.Benchmark.insert_latency + Stats.count m.Benchmark.delete_latency);
+      check (impl.QA.name ^ ": final size sane") true (m.Benchmark.final_size >= 0);
+      check
+        (impl.QA.name ^ ": latencies positive")
+        true
+        (Stats.mean m.Benchmark.insert_latency > 0.0
+        && Stats.mean m.Benchmark.delete_latency > 0.0))
+    all_sim_impls
+
+let test_benchmark_insert_ratio_extremes () =
+  (* All inserts: final size = initial + ops, minus the rare random key
+     collisions that the paper's update-in-place semantics absorb.
+     All deletes: drains to 0. *)
+  let all_ins =
+    Benchmark.run (QA.Sim.skipqueue ())
+      { tiny_workload with Benchmark.insert_ratio = 1.0 }
+  in
+  let expected = tiny_workload.Benchmark.initial_size + tiny_workload.Benchmark.total_ops in
+  check "all inserts final size (within collision slack)" true
+    (all_ins.Benchmark.final_size <= expected
+    && all_ins.Benchmark.final_size >= expected - 8);
+  let all_del =
+    Benchmark.run (QA.Sim.skipqueue ())
+      { tiny_workload with Benchmark.insert_ratio = 0.0 }
+  in
+  check_int "all deletes final size" 0 all_del.Benchmark.final_size
+
+let test_benchmark_histograms () =
+  let m = Benchmark.run (QA.Sim.skipqueue ()) tiny_workload in
+  let module H = Repro_util.Histogram in
+  check_int "insert histogram complete"
+    (Stats.count m.Benchmark.insert_latency)
+    (H.count m.Benchmark.insert_histogram);
+  check_int "delete histogram complete"
+    (Stats.count m.Benchmark.delete_latency)
+    (H.count m.Benchmark.delete_histogram);
+  let p50 = H.quantile m.Benchmark.delete_histogram 0.5 in
+  let p99 = H.quantile m.Benchmark.delete_histogram 0.99 in
+  check "p50 <= p99" true (p50 <= p99);
+  check "p50 in plausible range" true
+    (p50 > 10.0 && p50 < 2.0 *. Stats.mean m.Benchmark.delete_latency);
+  (* pp renders with quantiles *)
+  let s = Format.asprintf "%a" Benchmark.pp_measurement m in
+  check "pp mentions p99" true
+    (let rec has i =
+       i + 3 <= String.length s && (String.sub s i 3 = "p99" || has (i + 1))
+     in
+     has 0)
+
+let test_benchmark_more_procs_more_latency () =
+  (* Contention must rise with processors for a shared structure. *)
+  let del procs =
+    let m = Benchmark.run (QA.Sim.skipqueue ()) { tiny_workload with Benchmark.procs } in
+    Stats.mean m.Benchmark.delete_latency
+  in
+  check "2 -> 32 procs increases delete latency" true (del 32 > del 2)
+
+let test_benchmark_rejects_bad_workload () =
+  Alcotest.check_raises "procs < 1" (Invalid_argument "Benchmark.run: procs < 1")
+    (fun () ->
+      ignore
+        (Benchmark.run (QA.Sim.skipqueue ()) { tiny_workload with Benchmark.procs = 0 }));
+  Alcotest.check_raises "bad ratio"
+    (Invalid_argument "Benchmark.run: insert_ratio outside [0, 1]") (fun () ->
+      ignore
+        (Benchmark.run (QA.Sim.skipqueue ())
+           { tiny_workload with Benchmark.insert_ratio = 1.5 }))
+
+(* --- figures machinery ----------------------------------------------------- *)
+
+let tiny_options =
+  { Figures.scale = 0.005; max_procs_log2 = 2; progress = ignore }
+
+let test_every_figure_runs () =
+  List.iter
+    (fun (id, runner) ->
+      let result = runner tiny_options in
+      check (id ^ " has a body") true (String.length result.Figures.body > 0);
+      check (id ^ " has indicators") true (result.Figures.indicators <> []);
+      let rendered = Figures.render result in
+      check (id ^ " renders") true (String.length rendered > String.length result.Figures.body))
+    Figures.all
+
+let test_figure_determinism () =
+  let run () = (Figures.fig6 tiny_options).Figures.body in
+  Alcotest.(check string) "fig6 deterministic" (run ()) (run ())
+
+(* --- native bench ----------------------------------------------------------- *)
+
+let test_native_bench_runs () =
+  let m =
+    Native_bench.run (QA.Native.skipqueue ())
+      { tiny_workload with Benchmark.procs = 2 }
+  in
+  check_int "op accounting"
+    tiny_workload.Benchmark.total_ops
+    (Stats.count m.Native_bench.insert_latency_ns
+    + Stats.count m.Native_bench.delete_latency_ns);
+  check "throughput positive" true (m.Native_bench.throughput_ops_per_sec > 0.0);
+  check "wall time positive" true (m.Native_bench.wall_ns > 0.0)
+
+(* --- tracing ------------------------------------------------------------------ *)
+
+let test_trace_summary () =
+  let summary = Trace.Summary.create () in
+  let report =
+    Machine.run ~tracer:(Trace.Summary.sink summary) (fun () ->
+        let lock = Machine.lock_create ~name:"hot" () in
+        let c = Repro_sim.Sim_runtime.shared 0 in
+        for _ = 1 to 8 do
+          Machine.spawn (fun () ->
+              for _ = 1 to 5 do
+                Machine.lock_acquire lock;
+                ignore (Repro_sim.Sim_runtime.swap c 1);
+                Machine.work 50;
+                Machine.lock_release lock
+              done)
+        done)
+  in
+  check "events recorded" true (Trace.Summary.events summary > 0);
+  (* Lock profile: 40 acquisitions of "hot", some parked. *)
+  let profile = Trace.Summary.lock_profile summary in
+  let hot = List.find (fun (name, _, _, _) -> name = "hot") profile in
+  let _, acqs, parks, waited = hot in
+  check_int "all acquisitions traced" 40 acqs;
+  check "some parked" true (parks > 0);
+  check "waited cycles recorded" true (waited > 0);
+  check_int "waited matches machine report" report.Machine.lock_wait_cycles waited;
+  (* The swapped cell must appear among the hottest locations. *)
+  check "a hot location found" true (Trace.Summary.hottest_locations summary ~n:3 <> []);
+  (* Every spawned processor has a span and all exited. *)
+  let spans = Trace.Summary.processor_spans summary in
+  check "spans complete" true
+    (List.length spans >= 8
+    && List.for_all (fun (_, _, exited) -> exited >= 0) spans)
+
+let test_trace_event_stream_consistent () =
+  (* Acquire/release alternate per lock; access finish >= start. *)
+  let violations = ref 0 in
+  let held = Hashtbl.create 8 in
+  let sink = function
+    | Trace.Acquired { lock; _ } | Trace.Woken { lock; _ } ->
+      if Hashtbl.mem held lock then incr violations else Hashtbl.add held lock ()
+    | Trace.Released { lock; _ } ->
+      if Hashtbl.mem held lock then Hashtbl.remove held lock else incr violations
+    | Trace.Accessed { start; finish; _ } -> if finish < start then incr violations
+    | Trace.Spawned _ | Trace.Exited _ | Trace.Parked _ -> ()
+  in
+  let (_ : Machine.report) =
+    Machine.run ~tracer:sink (fun () ->
+        let lock = Machine.lock_create ~name:"l" () in
+        for _ = 1 to 6 do
+          Machine.spawn (fun () ->
+              for _ = 1 to 10 do
+                Machine.lock_acquire lock;
+                Machine.work 10;
+                Machine.lock_release lock
+              done)
+        done)
+  in
+  check_int "no protocol violations" 0 !violations
+
+let test_trace_pp_event_coverage () =
+  (* every event constructor renders *)
+  let events =
+    [
+      Trace.Spawned { parent = 0; child = 1; at = 5 };
+      Trace.Exited { proc = 1; at = 9 };
+      Trace.Accessed
+        {
+          proc = 0;
+          location = 3;
+          kind = Repro_sim.Memory_model.Swap;
+          start = 1;
+          finish = 4;
+          hit = false;
+          queued = 2;
+        };
+      Trace.Acquired { proc = 0; lock = "l"; at = 2 };
+      Trace.Released { proc = 0; lock = "l"; at = 3 };
+      Trace.Parked { proc = 2; lock = "l"; at = 4 };
+      Trace.Woken { proc = 2; lock = "l"; at = 8; waited = 4 };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = Format.asprintf "%a" Trace.pp_event e in
+      check "renders non-empty" true (String.length s > 0))
+    events
+
+let test_trace_pp_smoke () =
+  let summary = Trace.Summary.create () in
+  let (_ : Machine.report) =
+    Machine.run ~tracer:(Trace.Summary.sink summary) (fun () ->
+        let c = Repro_sim.Sim_runtime.shared 0 in
+        Repro_sim.Sim_runtime.write c 1)
+  in
+  let s = Format.asprintf "%a" Trace.Summary.pp summary in
+  check "pp renders" true (String.length s > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "benchmark",
+        [
+          Alcotest.test_case "determinism" `Quick test_benchmark_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_benchmark_seed_changes_run;
+          Alcotest.test_case "op accounting (all impls)" `Quick test_benchmark_op_accounting;
+          Alcotest.test_case "ratio extremes" `Quick test_benchmark_insert_ratio_extremes;
+          Alcotest.test_case "histograms and quantiles" `Quick test_benchmark_histograms;
+          Alcotest.test_case "latency rises with procs" `Quick
+            test_benchmark_more_procs_more_latency;
+          Alcotest.test_case "rejects bad workload" `Quick test_benchmark_rejects_bad_workload;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "every figure runs" `Slow test_every_figure_runs;
+          Alcotest.test_case "figure determinism" `Quick test_figure_determinism;
+        ] );
+      ( "native-bench",
+        [ Alcotest.test_case "runs and accounts" `Quick test_native_bench_runs ] );
+      ( "trace",
+        [
+          Alcotest.test_case "summary aggregates" `Quick test_trace_summary;
+          Alcotest.test_case "event stream consistent" `Quick
+            test_trace_event_stream_consistent;
+          Alcotest.test_case "pp_event coverage" `Quick test_trace_pp_event_coverage;
+          Alcotest.test_case "pp smoke" `Quick test_trace_pp_smoke;
+        ] );
+    ]
