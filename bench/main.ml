@@ -124,6 +124,23 @@ let micro_tests =
                         done)
                   done))))
   in
+  let sim_multiqueue =
+    (* Selected by registry name, like the CLI drivers. *)
+    let module QA = Repro_workload.Queue_adapter in
+    let impl = QA.find QA.Sim "MultiQueue" in
+    Test.make ~name:"simulated multiqueue, 8 procs x 64 ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Machine.run (fun () ->
+                  let q = impl.QA.create () in
+                  for p = 0 to 7 do
+                    Machine.spawn (fun () ->
+                        for i = 0 to 63 do
+                          if i land 1 = 0 then q.QA.insert ((i * 131) + p) i
+                          else ignore (q.QA.delete_min ())
+                        done)
+                  done))))
+  in
   let sim_scheduling =
     Test.make ~name:"simulator overhead, 64 procs x 100 work slices"
       (Staged.stage (fun () ->
@@ -145,6 +162,7 @@ let micro_tests =
       pairing_churn;
       sorted_churn;
       sim_skipqueue;
+      sim_multiqueue;
       sim_scheduling;
     ]
 

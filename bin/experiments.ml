@@ -9,13 +9,10 @@ open Cmdliner
 
 let run_native domains_top scale quiet =
   let progress msg = if not quiet then Printf.eprintf "[run] %s\n%!" msg in
+  let module QA = Repro_workload.Queue_adapter in
   let impls =
-    [
-      Repro_workload.Queue_adapter.Native.skipqueue ();
-      Repro_workload.Queue_adapter.Native.relaxed_skipqueue ();
-      Repro_workload.Queue_adapter.Native.hunt_heap ();
-      Repro_workload.Queue_adapter.Native.funnel_list ();
-    ]
+    List.map (QA.find QA.Native)
+      [ "SkipQueue"; "Relaxed SkipQueue"; "Heap"; "FunnelList"; "MultiQueue" ]
   in
   let rec domain_counts d = if d > domains_top then [] else d :: domain_counts (2 * d) in
   let workload =
@@ -75,7 +72,7 @@ let run_figures ids scale max_procs_log2 domains output quiet =
 
 let ids =
   let doc =
-    "Experiments to run: fig2..fig8, ablation-funnel-front, \
+    "Experiments to run: fig2..fig8, multiqueue, ablation-funnel-front, \
      ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
      'native' (real-domain sweep), or 'all' (every simulator experiment)."
   in

@@ -12,15 +12,19 @@
 open Cmdliner
 
 let run structure procs initial ops insert_ratio work =
+  let module QA = Repro_workload.Queue_adapter in
   let impl =
-    match structure with
-    | "skipqueue" -> Repro_workload.Queue_adapter.Sim.skipqueue ()
-    | "relaxed" -> Repro_workload.Queue_adapter.Sim.relaxed_skipqueue ()
-    | "heap" -> Repro_workload.Queue_adapter.Sim.hunt_heap ()
-    | "funnellist" -> Repro_workload.Queue_adapter.Sim.funnel_list ()
-    | other ->
-      Printf.eprintf
-        "unknown structure %S (skipqueue | relaxed | heap | funnellist)\n" other;
+    (* Short CLI spellings on top of the adapter registry's names. *)
+    let name =
+      match String.lowercase_ascii structure with
+      | "relaxed" -> "Relaxed SkipQueue"
+      | "funneled" -> "SkipQueue + delete funnel"
+      | other -> other
+    in
+    match QA.find QA.Sim name with
+    | impl -> impl
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
       Stdlib.exit 2
   in
   let summary = Repro_sim.Trace.Summary.create () in
@@ -73,7 +77,10 @@ let structure =
     value
     & opt string "skipqueue"
     & info [ "structure"; "s" ] ~docv:"NAME"
-        ~doc:"Structure to profile: skipqueue, relaxed, heap, funnellist.")
+        ~doc:
+          "Structure to profile: any adapter-registry name (skipqueue, \
+           relaxed, heap, funnellist, multiqueue, ...), matched case- and \
+           space-insensitively.")
 
 let procs =
   Arg.(value & opt int 64 & info [ "procs"; "p" ] ~docv:"N" ~doc:"Virtual processors.")

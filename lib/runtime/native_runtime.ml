@@ -7,6 +7,7 @@ let shared ?name v =
 let read = Atomic.get
 let write = Atomic.set
 let swap = Atomic.exchange
+let cas = Atomic.compare_and_set
 
 type lock = Mutex.t
 
@@ -16,6 +17,7 @@ let lock_create ?name () =
 
 let acquire = Mutex.lock
 let release = Mutex.unlock
+let try_acquire = Mutex.try_lock
 
 let clock = Atomic.make 1
 

@@ -33,12 +33,27 @@ module type S = sig
       previous one, in a single atomic step.  The only universal primitive
       the paper's Delete-min needs. *)
 
+  val cas : 'a shared -> 'a -> 'a -> bool
+  (** [cas cell expected v] atomically compares the cell's content with
+      [expected] (physical equality, like [Atomic.compare_and_set]) and, on
+      a match, replaces it with [v].  Returns whether the write happened.
+      Charged as one atomic read-modify-write step, like {!swap}.  Modern
+      relaxed structures (MultiQueues, k-LSM) are written against CAS, so
+      any competitor implemented here needs it. *)
+
   type lock
   (** A fair (FIFO under the simulator) mutual-exclusion lock. *)
 
   val lock_create : ?name:string -> unit -> lock
   val acquire : lock -> unit
   val release : lock -> unit
+
+  val try_acquire : lock -> bool
+  (** Non-blocking acquire: takes the lock and returns [true] if it was
+      free, returns [false] immediately (never parks) otherwise.  Costs
+      one atomic read-modify-write on the lock word either way.  The
+      primitive behind try-lock sharded structures such as the
+      MultiQueue. *)
 
   val get_time : unit -> int
   (** Reads the shared clock.  Timestamps are totally ordered consistently

@@ -24,6 +24,7 @@ type _ Effect.t +=
   | Access : Memory_model.meta * Memory_model.kind -> unit Effect.t
   | Alloc : Memory_model.meta Effect.t
   | Acquire : lock -> unit Effect.t
+  | Try_acquire : lock -> bool Effect.t
   | Release : lock -> unit Effect.t
   | Get_time : int Effect.t
   | Probe_time : int Effect.t
@@ -205,6 +206,26 @@ let run ?(config = Memory_model.default) ?tracer main =
                            { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
                     Queue.add (p, k) lock.waiting
                   end)
+            | Try_acquire lock ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let p = st.current in
+                  (* The attempt is an atomic RMW on the lock word whether
+                     or not it succeeds; a failed try never parks. *)
+                  charge_access st lock.lock_meta Memory_model.Swap;
+                  let got = lock.holder = -1 in
+                  if got then begin
+                    lock.holder <- p;
+                    st.lock_acquisitions <- st.lock_acquisitions + 1;
+                    match st.tracer with
+                    | None -> ()
+                    | Some sink ->
+                      sink
+                        (Trace.Acquired
+                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) })
+                  end;
+                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
+                      Effect.Deep.continue k got))
             | Release lock ->
               Some
                 (fun k ->
@@ -298,4 +319,5 @@ let lock_create ?(name = "lock") () =
   }
 
 let lock_acquire lock = perform_or_fail (Acquire lock)
+let lock_try_acquire lock = perform_or_fail (Try_acquire lock)
 let lock_release lock = perform_or_fail (Release lock)

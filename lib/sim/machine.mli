@@ -72,5 +72,10 @@ val lock_acquire : lock -> unit
 (** FIFO-fair; parked processors generate no memory traffic (the paper
     uses Proteus semaphores, i.e. blocking locks). *)
 
+val lock_try_acquire : lock -> bool
+(** Non-blocking acquire: returns whether the lock was taken.  Charged as
+    one atomic RMW on the lock word in both outcomes; a failed try never
+    parks. *)
+
 val lock_release : lock -> unit
 (** Raises [Failure] if the caller does not hold the lock. *)

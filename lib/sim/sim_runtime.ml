@@ -18,11 +18,23 @@ let swap cell v =
   cell.v <- v;
   old
 
+(* The compare and the conditional write happen after the access effect
+   returns, i.e. between two scheduler points — one atomic step, exactly
+   like [swap].  Physical equality mirrors [Atomic.compare_and_set]. *)
+let cas cell expected v =
+  Machine.access cell.meta Memory_model.Swap;
+  if cell.v == expected then begin
+    cell.v <- v;
+    true
+  end
+  else false
+
 type lock = Machine.lock
 
 let lock_create ?name () = Machine.lock_create ?name ()
 let acquire = Machine.lock_acquire
 let release = Machine.lock_release
+let try_acquire = Machine.lock_try_acquire
 let get_time = Machine.get_time
 let work = Machine.work
 let self = Machine.self

@@ -29,11 +29,79 @@ type measurement = {
   overall_latency : Stats.t;
   insert_histogram : Repro_util.Histogram.t;
   delete_histogram : Repro_util.Histogram.t;
+  rank_error : Stats.t;
   end_time : int;
   final_size : int;
   machine : Repro_sim.Machine.report;
-  queue_stats : string list;
+  queue_stats : (string * float) list;
 }
+
+(* Host-side multiset rank oracle over the workload's bounded key range: a
+   Fenwick tree counting live elements per key.  Updated at operation
+   completion (host code between simulator effects never interleaves, so
+   updates are atomic w.r.t. the virtual processors); the rank error of a
+   Delete-min is the number of live elements strictly smaller than the key
+   it returned.  A Delete-min can complete before the Insert that produced
+   its element does — such keys are booked as debts and cancelled when the
+   insert completes.  Duplicate keys follow the queue's own semantics via
+   {!Queue_adapter.impl.dedups}: multiset for the heap/funnel/MultiQueue
+   family, set (update-in-place) for the SkipQueue family. *)
+module Rank_oracle = struct
+  type t = {
+    tree : int array; (* 1-based Fenwick; index k+1 carries key k *)
+    counts : (int, int) Hashtbl.t;
+    debts : (int, int) Hashtbl.t;
+    range : int;
+  }
+
+  let create ~range =
+    {
+      tree = Array.make (range + 1) 0;
+      counts = Hashtbl.create 1024;
+      debts = Hashtbl.create 64;
+      range;
+    }
+
+  let add t k delta =
+    let i = ref (k + 1) in
+    while !i <= t.range do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  let count_less t k =
+    let s = ref 0 in
+    let i = ref (Int.min k t.range) in
+    while !i > 0 do
+      s := !s + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !s
+
+  let get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k)
+  let set tbl k v = if v = 0 then Hashtbl.remove tbl k else Hashtbl.replace tbl k v
+
+  (* [dedup] mirrors update-in-place queues (SkipQueue family): inserting
+     a key that is already live changes nothing, so duplicate random
+     priorities don't register as phantom elements below the true min. *)
+  let insert ?(dedup = false) t k =
+    let d = get t.debts k in
+    if d > 0 then set t.debts k (d - 1)
+    else if not (dedup && get t.counts k > 0) then begin
+      set t.counts k (get t.counts k + 1);
+      add t k 1
+    end
+
+  let delete t k =
+    let rank = count_less t k in
+    let c = get t.counts k in
+    if c > 0 then begin
+      set t.counts k (c - 1);
+      add t k (-1)
+    end
+    else set t.debts k (get t.debts k + 1);
+    rank
+end
 
 let run ?config (impl : Queue_adapter.impl) w =
   if w.procs < 1 then invalid_arg "Benchmark.run: procs < 1";
@@ -41,10 +109,13 @@ let run ?config (impl : Queue_adapter.impl) w =
     invalid_arg "Benchmark.run: insert_ratio outside [0, 1]";
   let insert_stats = Array.init w.procs (fun _ -> Stats.create ()) in
   let delete_stats = Array.init w.procs (fun _ -> Stats.create ()) in
+  let rank_stats = Array.init w.procs (fun _ -> Stats.create ()) in
   (* Histograms tolerate concurrent adds from virtual processors: the
      simulator serializes them. *)
   let insert_histogram = Repro_util.Histogram.create ~base:10.0 ~factor:1.3 () in
   let delete_histogram = Repro_util.Histogram.create ~base:10.0 ~factor:1.3 () in
+  let oracle = Rank_oracle.create ~range:w.key_range in
+  let dedup = impl.Queue_adapter.dedups in
   let first_op_time = ref max_int in
   let last_op_time = ref 0 in
   let final_size = ref 0 in
@@ -54,7 +125,9 @@ let run ?config (impl : Queue_adapter.impl) w =
         let q = impl.Queue_adapter.create () in
         let root_rng = Rng.of_seed w.seed in
         for i = 0 to w.initial_size - 1 do
-          q.Queue_adapter.insert (Rng.int root_rng w.key_range) (1_000_000_000 + i)
+          let key = Rng.int root_rng w.key_range in
+          q.Queue_adapter.insert key (1_000_000_000 + i);
+          Rank_oracle.insert ~dedup oracle key
         done;
         let start_time = Machine.probe_time () in
         if start_time < !first_op_time then first_op_time := start_time;
@@ -72,12 +145,17 @@ let run ?config (impl : Queue_adapter.impl) w =
                 if Rng.bernoulli rng w.insert_ratio then begin
                   let key = Rng.int rng w.key_range in
                   q.Queue_adapter.insert key ((p * 1_000_000) + i);
+                  Rank_oracle.insert ~dedup oracle key;
                   let dt = float_of_int (Machine.probe_time () - t0) in
                   Stats.add insert_stats.(p) dt;
                   Repro_util.Histogram.add insert_histogram dt
                 end
                 else begin
-                  ignore (q.Queue_adapter.delete_min ());
+                  (match q.Queue_adapter.delete_min () with
+                  | None -> ()
+                  | Some (key, _) ->
+                    Stats.add rank_stats.(p)
+                      (float_of_int (Rank_oracle.delete oracle key)));
                   let dt = float_of_int (Machine.probe_time () - t0) in
                   Stats.add delete_stats.(p) dt;
                   Repro_util.Histogram.add delete_histogram dt
@@ -97,7 +175,7 @@ let run ?config (impl : Queue_adapter.impl) w =
               | Some _ -> count (n + 1)
             in
             final_size := count 0;
-            queue_stats := q.Queue_adapter.describe_stats ()))
+            queue_stats := q.Queue_adapter.stats ()))
   in
   let merge arr = Array.fold_left Stats.merge (Stats.create ()) arr in
   let insert_latency = merge insert_stats in
@@ -108,6 +186,7 @@ let run ?config (impl : Queue_adapter.impl) w =
     overall_latency = Stats.merge insert_latency delete_latency;
     insert_histogram;
     delete_histogram;
+    rank_error = merge rank_stats;
     end_time = !last_op_time - !first_op_time;
     final_size = !final_size;
     machine = report;
@@ -121,6 +200,7 @@ let pp_measurement ppf m =
   Format.fprintf ppf
     "@[<v>inserts: %d ops, mean %.0f cycles (p50 %.0f, p99 %.0f)@,\
      deletes: %d ops, mean %.0f cycles (p50 %.0f, p99 %.0f)@,\
+     rank error: mean %.2f, max %.0f@,\
      makespan: %d cycles, final size %d@]"
     (Stats.count m.insert_latency)
     (Stats.mean m.insert_latency)
@@ -130,4 +210,6 @@ let pp_measurement ppf m =
     (Stats.mean m.delete_latency)
     (quantile m.delete_histogram 0.5)
     (quantile m.delete_histogram 0.99)
+    (if Stats.count m.rank_error = 0 then 0.0 else Stats.mean m.rank_error)
+    (if Stats.count m.rank_error = 0 then 0.0 else Stats.max_value m.rank_error)
     m.end_time m.final_size

@@ -30,10 +30,18 @@ type measurement = {
       (** log-bucketed latency distribution; tail quantiles via
           {!Repro_util.Histogram.quantile} *)
   delete_histogram : Repro_util.Histogram.t;
+  rank_error : Repro_util.Stats.t;
+      (** per-Delete-min quality: how many live elements were strictly
+          smaller than the returned key at completion time, tracked by a
+          host-side oracle that costs no simulated cycles.  Near zero for
+          strict structures (residual noise from concurrent completions),
+          the quantity relaxed structures trade for scalability. *)
   end_time : int;  (** simulated cycles from first to last operation *)
   final_size : int;  (** structure size at quiescence *)
   machine : Repro_sim.Machine.report;
-  queue_stats : string list;
+  queue_stats : (string * float) list;
+      (** the instance's structured counters (see
+          {!Queue_adapter.instance.stats}), collected at quiescence *)
 }
 
 val run :

@@ -99,6 +99,10 @@ let latency_tables ~series =
   ^ "\n"
   ^ latency_plot ~series insert ~title:"Insert latency"
 
+(* Structured queue counters, rendered uniformly ("name=value ..."). *)
+let stats_line stats =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%.0f" k v) stats)
+
 let at series name procs =
   let points = List.assoc name series in
   List.assoc procs points
@@ -309,6 +313,111 @@ let fig8 options =
     ~title:"SkipQueue vs Relaxed, 70% deletions (27000 initial, 60000 ops)"
     ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3
 
+(* ------------------------------------------------------------------ *)
+
+(* The MultiQueue sweep: the modern endpoint of §5.2's relaxation idea
+   (c-way choice over try-locked shards) against the paper's Relaxed
+   SkipQueue, with the strict SkipQueue as the exactness anchor.  Reports
+   both latency and Delete-min rank error, so the speed/quality trade is
+   quantified instead of implied. *)
+
+let rank_of m =
+  if Stats.count m.Benchmark.rank_error = 0 then 0.0
+  else Stats.mean m.Benchmark.rank_error
+
+let rank_table ~series =
+  let procs = List.map fst (snd (List.hd series)) in
+  let header = "procs" :: List.map fst series in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun (_, points) ->
+               Table.float_cell ~decimals:2 (rank_of (List.assoc n points)))
+             series)
+      procs
+  in
+  "Mean Delete-min rank error (elements ahead of the returned key)\n"
+  ^ Table.render ~header rows
+
+(* Like [sweep], but rebuilding the implementation for each processor
+   count — the MultiQueue's shard count scales with the processors it
+   serves. *)
+let sweep_per_procs options ~name ~impl_of ~workload_of =
+  List.map
+    (fun procs ->
+      options.progress (Printf.sprintf "%s @ %d procs" name procs);
+      (procs, Benchmark.run (impl_of procs) (workload_of procs)))
+    (proc_counts options)
+
+let multiqueue options =
+  let sub ~tag ~initial ~ops ~insert_ratio =
+    let workload_of procs =
+      base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100
+    in
+    [
+      ( "Relaxed SkipQueue",
+        sweep options ~impl:(Queue_adapter.Sim.relaxed_skipqueue ()) ~workload_of );
+      ( "MultiQueue",
+        sweep_per_procs options
+          ~name:(Printf.sprintf "MultiQueue [%s]" tag)
+          ~impl_of:(fun procs -> Queue_adapter.Sim.multiqueue ~procs ())
+          ~workload_of );
+    ]
+  in
+  let workloads =
+    [
+      ("small", "small structure (50 initial, 7000 ops, 50% inserts)",
+       sub ~tag:"small" ~initial:50 ~ops:7_000 ~insert_ratio:0.5);
+      ("large", "large structure (1000 initial, 7000 ops, 50% inserts)",
+       sub ~tag:"large" ~initial:1000 ~ops:7_000 ~insert_ratio:0.5);
+      ("70% deletions", "70% deletions (27000 initial, 60000 ops, 30% inserts)",
+       sub ~tag:"70% deletions" ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3);
+    ]
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  let body =
+    String.concat "\n"
+      (List.map
+         (fun (_, title, series) ->
+           Printf.sprintf "--- %s ---\n" title
+           ^ latency_tables ~series ^ "\n" ^ rank_table ~series)
+         workloads)
+  in
+  let indicators =
+    List.concat_map
+      (fun (tag, _, series) ->
+        [
+          ratio_indicator series ~slow:"Relaxed SkipQueue" ~fast:"MultiQueue"
+            ~procs:top del
+            (Printf.sprintf "relaxed/multiqueue deletion latency @%d, %s" top tag);
+          ratio_indicator series ~slow:"Relaxed SkipQueue" ~fast:"MultiQueue"
+            ~procs:top ins
+            (Printf.sprintf "relaxed/multiqueue insertion latency @%d, %s" top tag);
+          ( Printf.sprintf "multiqueue mean rank error @%d, %s" top tag,
+            rank_of (at series "MultiQueue" top) );
+          ( Printf.sprintf "relaxed skipqueue mean rank error @%d, %s" top tag,
+            rank_of (at series "Relaxed SkipQueue" top) );
+        ])
+      workloads
+  in
+  let data =
+    List.concat_map
+      (fun (tag, _, series) ->
+        List.map
+          (fun (name, points) -> (Printf.sprintf "%s/%s" name tag, points))
+          (series_data series))
+      workloads
+  in
+  {
+    id = "multiqueue";
+    title = "MultiQueue vs Relaxed SkipQueue: latency and rank error";
+    body;
+    indicators;
+    data;
+  }
+
 let ablation_funnel_front options =
   let impls =
     [ Queue_adapter.Sim.skipqueue (); Queue_adapter.Sim.funneled_skipqueue () ]
@@ -388,7 +497,7 @@ let ablation_timestamp options =
   let line name m =
     Printf.sprintf "%-18s delete mean %8.0f  insert mean %8.0f  %s\n" name
       (del m) (ins m)
-      (String.concat " " m.Benchmark.queue_stats)
+      (stats_line m.Benchmark.queue_stats)
   in
   {
     id = "ablation-timestamp";
@@ -420,9 +529,9 @@ let ablation_reclamation options =
       impls
   in
   let top = 1 lsl options.max_procs_log2 in
-  let stats_line =
+  let reclamation_stats =
     let m = at series "SkipQueue + reclamation" top in
-    String.concat " " m.Benchmark.queue_stats
+    stats_line m.Benchmark.queue_stats
   in
   {
     id = "ablation-reclamation";
@@ -430,7 +539,7 @@ let ablation_reclamation options =
     title = "overhead of the live reclamation protocol (dedicated collector, §3)";
     body =
       latency_tables ~series
-      ^ Printf.sprintf "\nreclamation at %d procs: %s\n" top stats_line;
+      ^ Printf.sprintf "\nreclamation at %d procs: %s\n" top reclamation_stats;
     indicators =
       [
         ratio_indicator series ~slow:"SkipQueue + reclamation" ~fast:"SkipQueue"
@@ -568,6 +677,7 @@ let all =
     ("fig6", fig6);
     ("fig7", fig7);
     ("fig8", fig8);
+    ("multiqueue", multiqueue);
     ("ablation-funnel-front", ablation_funnel_front);
     ("ablation-skiplist-params", ablation_skiplist_params);
     ("ablation-timestamp", ablation_timestamp);

@@ -56,6 +56,12 @@ val fig7 : options -> result
 val fig8 : options -> result
 (** SkipQueue vs Relaxed, 70% deletions (27000 initial, 60000 ops). *)
 
+val multiqueue : options -> result
+(** Beyond the paper: the MultiQueue (c-way choice over try-locked shards,
+    PAPERS.md "Engineering MultiQueues") against the Relaxed SkipQueue on
+    the fig6/fig7/fig8 workloads, reporting both latency and Delete-min
+    rank error across the whole concurrency sweep. *)
+
 val ablation_funnel_front : options -> result
 (** A1: plain SkipQueue vs SkipQueue with a funnel-regulated Delete-min —
     the design §5 reports rejecting. *)

@@ -1,10 +1,10 @@
 type instance = {
   insert : int -> int -> unit;
   delete_min : unit -> (int * int) option;
-  describe_stats : unit -> string list;
+  stats : unit -> (string * float) list;
 }
 
-type impl = { name : string; create : unit -> instance }
+type impl = { name : string; dedups : bool; create : unit -> instance }
 
 module Key = Repro_pqueue.Key.Int
 
@@ -14,25 +14,27 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module FL = Repro_funnel.Funnel_list.Make (R) (Key)
   module Funnel = Repro_funnel.Combining_funnel.Make (R)
   module Bins = Repro_funnel.Bin_queue.Make (R)
+  module MQ = Repro_multiqueue.Multiqueue.Make (R) (Key)
 
   let skipqueue_instance ~mode ?p ?max_level ?seed () =
     let q = SQ.create ~mode ?p ?max_level ?seed () in
     {
       insert = (fun k v -> ignore (SQ.insert q k v));
       delete_min = (fun () -> SQ.delete_min q);
-      describe_stats =
+      stats =
         (fun () ->
           let s = SQ.stats q in
           [
-            Printf.sprintf "hunt_steps=%d" s.SQ.hunt_steps;
-            Printf.sprintf "swap_losses=%d" s.SQ.swap_losses;
-            Printf.sprintf "stale_skips=%d" s.SQ.stale_skips;
+            ("hunt_steps", float_of_int s.SQ.hunt_steps);
+            ("swap_losses", float_of_int s.SQ.swap_losses);
+            ("stale_skips", float_of_int s.SQ.stale_skips);
           ]);
     }
 
   let skipqueue ?p ?max_level ?seed () =
     {
       name = "SkipQueue";
+      dedups = true;
       create = (fun () -> skipqueue_instance ~mode:SQ.Strict ?p ?max_level ?seed ());
     }
 
@@ -44,6 +46,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       ~collector_period () =
     {
       name = "SkipQueue + reclamation";
+      dedups = true;
       create =
         (fun () ->
           let recl = SQ.Reclaim.create () in
@@ -59,13 +62,13 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
           {
             insert = (fun k v -> ignore (SQ.insert q k v));
             delete_min = (fun () -> SQ.delete_min q);
-            describe_stats =
+            stats =
               (fun () ->
                 let s = SQ.Reclaim.stats recl in
                 [
-                  Printf.sprintf "retired=%d" s.SQ.Reclaim.retired;
-                  Printf.sprintf "reclaimed=%d" s.SQ.Reclaim.reclaimed;
-                  Printf.sprintf "pending=%d" s.SQ.Reclaim.pending;
+                  ("retired", float_of_int s.SQ.Reclaim.retired);
+                  ("reclaimed", float_of_int s.SQ.Reclaim.reclaimed);
+                  ("pending", float_of_int s.SQ.Reclaim.pending);
                 ]);
           });
     }
@@ -73,39 +76,42 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   let relaxed_skipqueue ?p ?max_level ?seed () =
     {
       name = "Relaxed SkipQueue";
+      dedups = true;
       create = (fun () -> skipqueue_instance ~mode:SQ.Relaxed ?p ?max_level ?seed ());
     }
 
   let hunt_heap ?capacity () =
     {
       name = "Heap";
+      dedups = false;
       create =
         (fun () ->
           let h = Heap.create ?capacity () in
           {
             insert = (fun k v -> Heap.insert h k v);
             delete_min = (fun () -> Heap.delete_min h);
-            describe_stats = (fun () -> []);
+            stats = (fun () -> []);
           });
     }
 
   let funnel_list ?layer_widths ?collision_window () =
     {
       name = "FunnelList";
+      dedups = false;
       create =
         (fun () ->
           let q = FL.create ?layer_widths ?collision_window () in
           {
             insert = (fun k v -> FL.insert q k v);
             delete_min = (fun () -> FL.delete_min q);
-            describe_stats =
+            stats =
               (fun () ->
                 let s = FL.funnel_stats q in
                 let module F = Repro_funnel.Combining_funnel.Make (R) in
                 [
-                  Printf.sprintf "batches=%d" s.F.batches;
-                  Printf.sprintf "combines=%d" s.F.combines;
-                  Printf.sprintf "largest_batch=%d" s.F.largest_batch;
+                  ("batches", float_of_int s.F.batches);
+                  ("combines", float_of_int s.F.combines);
+                  ("largest_batch", float_of_int s.F.largest_batch);
                 ]);
           });
     }
@@ -113,13 +119,41 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   let bin_queue ~range () =
     {
       name = Printf.sprintf "BinQueue(%d)" range;
+      dedups = false;
       create =
         (fun () ->
           let q = Bins.create ~range () in
           {
             insert = (fun k v -> Bins.insert q k v);
             delete_min = (fun () -> Bins.delete_min q);
-            describe_stats = (fun () -> []);
+            stats = (fun () -> []);
+          });
+    }
+
+  let multiqueue ?shard_factor ?shards ?choice ?stickiness ?heap_cycles_per_level
+      ?seed ~procs () =
+    {
+      name = "MultiQueue";
+      dedups = false;
+      create =
+        (fun () ->
+          let q =
+            MQ.create ?shard_factor ?shards ?choice ?stickiness
+              ?heap_cycles_per_level ?seed ~procs ()
+          in
+          {
+            insert = (fun k v -> MQ.insert q k v);
+            delete_min = (fun () -> MQ.delete_min q);
+            stats =
+              (fun () ->
+                let s = MQ.stats q in
+                [
+                  ("shards", float_of_int (MQ.shards q));
+                  ("lock_failures", float_of_int s.MQ.lock_failures);
+                  ("empty_pops", float_of_int s.MQ.empty_pops);
+                  ("full_sweeps", float_of_int s.MQ.full_sweeps);
+                  ("resticks", float_of_int s.MQ.resticks);
+                ]);
           });
     }
 
@@ -131,6 +165,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   let funneled_skipqueue ?collision_window () =
     {
       name = "SkipQueue + delete funnel";
+      dedups = true;
       create =
         (fun () ->
           let q = SQ.create ~mode:SQ.Strict () in
@@ -153,34 +188,74 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
                 let req = { result = None; done_ = false } in
                 Funnel.perform funnel req;
                 req.result);
-            describe_stats = (fun () -> []);
+            stats = (fun () -> []);
           });
     }
 end
 
 module Sim = struct
-  module O = Over (Repro_sim.Sim_runtime)
-
-  let skipqueue = O.skipqueue
-  let relaxed_skipqueue = O.relaxed_skipqueue
-  let funneled_skipqueue = O.funneled_skipqueue
-  let hunt_heap = O.hunt_heap
-  let funnel_list = O.funnel_list
-  let bin_queue = O.bin_queue
+  include Over (Repro_sim.Sim_runtime)
 
   let skipqueue_with_reclamation ?(collector_passes = 500)
       ?(collector_period = 20_000) () =
-    O.skipqueue_with_reclamation
+    skipqueue_with_reclamation
       ~spawn_collector:(fun body ->
         Repro_sim.Machine.spawn (fun () -> body Repro_sim.Machine.work))
       ~collector_passes ~collector_period ()
 end
 
 module Native = struct
-  module O = Over (Repro_runtime.Native_runtime)
+  include Over (Repro_runtime.Native_runtime)
 
-  let skipqueue ?seed () = O.skipqueue ?seed ()
-  let relaxed_skipqueue ?seed () = O.relaxed_skipqueue ?seed ()
-  let hunt_heap = O.hunt_heap
-  let funnel_list () = O.funnel_list ()
+  (* Real heap operations cost real time on this backend; no simulated
+     walk charge on top. *)
+  let multiqueue ?shard_factor ?shards ?choice ?stickiness ?seed ~procs () =
+    multiqueue ?shard_factor ?shards ?choice ?stickiness
+      ~heap_cycles_per_level:0 ?seed ~procs ()
 end
+
+(* ---- name-keyed registry ------------------------------------------------ *)
+
+type backend = Sim | Native
+
+let registry_procs = 16 (* default_workload concurrency; constructors with
+                           structural parameters take it from here *)
+
+let all = function
+  | Sim ->
+    [
+      Sim.skipqueue ();
+      Sim.relaxed_skipqueue ();
+      Sim.hunt_heap ();
+      Sim.funnel_list ();
+      Sim.multiqueue ~procs:registry_procs ();
+      Sim.funneled_skipqueue ();
+      Sim.skipqueue_with_reclamation ();
+      Sim.bin_queue ~range:65_536 ();
+    ]
+  | Native ->
+    [
+      Native.skipqueue ();
+      Native.relaxed_skipqueue ();
+      Native.hunt_heap ();
+      Native.funnel_list ();
+      Native.multiqueue ~procs:registry_procs ();
+    ]
+
+let names backend = List.map (fun i -> i.name) (all backend)
+
+(* Lookups tolerate case and spacing so CLI spellings like "skipqueue" or
+   "relaxedskipqueue" resolve. *)
+let normalize name =
+  String.lowercase_ascii
+    (String.concat "" (String.split_on_char ' ' name))
+
+let find backend name =
+  let target = normalize name in
+  match List.find_opt (fun i -> normalize i.name = target) (all backend) with
+  | Some impl -> impl
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Queue_adapter.find: unknown implementation %S (known: %s)"
+         name
+         (String.concat ", " (names backend)))

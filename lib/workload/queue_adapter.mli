@@ -1,26 +1,41 @@
-(** Uniform first-class view of the three competing priority queues (plus
+(** Uniform first-class view of the competing priority queues (plus
     variants), as used by the benchmark harness.
 
     Keys and values are [int] — the benchmarks draw integer priorities and
     use values as element identifiers, exactly like the paper's synthetic
-    benchmark. *)
+    benchmark.
+
+    Implementations come in two layers: parameterized constructors (the
+    [Sim]/[Native] modules, both instances of one functor over the
+    runtime) for experiments that tune structure parameters, and a
+    name-keyed registry ({!all}/{!find}) for callers — the CLI drivers,
+    the bench suite — that select implementations by string. *)
 
 type instance = {
   insert : int -> int -> unit;
   delete_min : unit -> (int * int) option;
-  describe_stats : unit -> string list;
-      (** implementation-specific counters for the ablation reports *)
+  stats : unit -> (string * float) list;
+      (** implementation-specific counters for the ablation reports, as
+          structured name/value pairs (render with
+          [Printf.sprintf "%s=%.0f"]; no prose parsing downstream) *)
 }
 
 type impl = {
   name : string;
+  dedups : bool;
+      (** [true] when [insert] of an already-present key updates in place
+          (the SkipQueue family) rather than keeping both copies (heap,
+          funnel list, bin queue, MultiQueue).  The benchmark's rank-error
+          oracle mirrors this so duplicate random priorities don't read as
+          phantom reordering. *)
   create : unit -> instance;
       (** must be called from inside the target runtime's execution context
           (e.g. within [Machine.run] for the simulator) *)
 }
 
-(** Implementations over the simulator runtime. *)
-module Sim : sig
+(** Parameterized constructors over any runtime; [Sim] and [Native] below
+    are its two instantiations. *)
+module Over (R : Repro_runtime.Runtime_intf.S) : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
 
@@ -28,6 +43,42 @@ module Sim : sig
   (** Ablation A1: a SkipQueue whose Delete-mins are regulated by a
       combining funnel instead of racing SWAPs down the bottom level — the
       design §5 reports trying and rejecting above 64 processors. *)
+
+  val skipqueue_with_reclamation :
+    spawn_collector:(((int -> unit) -> unit) -> unit) ->
+    collector_passes:int ->
+    collector_period:int ->
+    unit ->
+    impl
+  (** Ablation A4 building block; [Sim.skipqueue_with_reclamation] wraps it
+      with the simulator's collector-processor spawner. *)
+
+  val hunt_heap : ?capacity:int -> unit -> impl
+  val funnel_list : ?layer_widths:int list -> ?collision_window:int -> unit -> impl
+
+  val bin_queue : range:int -> unit -> impl
+  (** The bounded-priority bin queue of [39] — only valid on workloads
+      whose [key_range] does not exceed [range]. *)
+
+  val multiqueue :
+    ?shard_factor:int ->
+    ?shards:int ->
+    ?choice:int ->
+    ?stickiness:int ->
+    ?heap_cycles_per_level:int ->
+    ?seed:int64 ->
+    procs:int ->
+    unit ->
+    impl
+  (** The relaxed MultiQueue ({!Repro_multiqueue.Multiqueue}): c-way choice
+      over [shard_factor * procs] try-locked sequential heaps. *)
+end
+
+(** Implementations over the simulator runtime. *)
+module Sim : sig
+  val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+  val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+  val funneled_skipqueue : ?collision_window:int -> unit -> impl
 
   val skipqueue_with_reclamation :
     ?collector_passes:int -> ?collector_period:int -> unit -> impl
@@ -39,16 +90,57 @@ module Sim : sig
 
   val hunt_heap : ?capacity:int -> unit -> impl
   val funnel_list : ?layer_widths:int list -> ?collision_window:int -> unit -> impl
-
   val bin_queue : range:int -> unit -> impl
-  (** The bounded-priority bin queue of [39] — only valid on workloads
-      whose [key_range] does not exceed [range]. *)
+
+  val multiqueue :
+    ?shard_factor:int ->
+    ?shards:int ->
+    ?choice:int ->
+    ?stickiness:int ->
+    ?heap_cycles_per_level:int ->
+    ?seed:int64 ->
+    procs:int ->
+    unit ->
+    impl
 end
 
 (** The same implementations over real domains, for native runs. *)
 module Native : sig
-  val skipqueue : ?seed:int64 -> unit -> impl
-  val relaxed_skipqueue : ?seed:int64 -> unit -> impl
+  val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+  val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val hunt_heap : ?capacity:int -> unit -> impl
-  val funnel_list : unit -> impl
+  val funnel_list : ?layer_widths:int list -> ?collision_window:int -> unit -> impl
+  val bin_queue : range:int -> unit -> impl
+
+  val multiqueue :
+    ?shard_factor:int ->
+    ?shards:int ->
+    ?choice:int ->
+    ?stickiness:int ->
+    ?seed:int64 ->
+    procs:int ->
+    unit ->
+    impl
+  (** [heap_cycles_per_level] is pinned to 0: the real heap walk already
+      costs real time under this backend. *)
 end
+
+(** {2 Name-keyed registry}
+
+    Default-configured instances of every implementation, keyed by name —
+    how [bin/experiments.ml], [bin/profile.ml] and [bench/main.ml] select
+    implementations by string instead of hard-coded match arms. *)
+
+type backend = Sim | Native
+
+val all : backend -> impl list
+(** Every default-configured implementation available on that backend (the
+    simulator additionally has the funnel-front and reclamation ablation
+    variants and the bounded-range bin queue). *)
+
+val names : backend -> string list
+
+val find : backend -> string -> impl
+(** Case- and space-insensitive lookup ("skipqueue", "Relaxed SkipQueue"
+    and "relaxedskipqueue" all resolve).  Raises [Invalid_argument] with
+    the known names on a miss. *)

@@ -1,0 +1,260 @@
+(* Backend-agreement suite for the RUNTIME primitives.
+
+   The structures are functors over Runtime_intf.S and must behave
+   identically on the simulator and on native domains, so the two
+   backends' primitives must agree observably.  A qcheck property runs
+   random single-processor programs over one shared cell and one lock
+   through three interpreters — a pure reference model, the native
+   runtime, and the simulator (inside Machine.run) — and demands
+   identical result traces for [read]/[write]/[swap]/[cas]/
+   [try_acquire]/[release].  Concurrent tests then pin down the
+   semantics that the sequential traces cannot see: cas-loops lose no
+   increments on either backend, and a try_acquire against a held lock
+   fails without parking on the simulator. *)
+
+module Native = Repro_runtime.Native_runtime
+module Sim = Repro_sim.Sim_runtime
+module Machine = Repro_sim.Machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+type op =
+  | Read
+  | Write of int
+  | Swap of int
+  | Cas of int * int  (** expected, new *)
+  | Try_acquire
+  | Release
+
+type result = Unit | Int of int | Bool of bool
+
+let pp_op = function
+  | Read -> "read"
+  | Write v -> Printf.sprintf "write %d" v
+  | Swap v -> Printf.sprintf "swap %d" v
+  | Cas (e, v) -> Printf.sprintf "cas %d %d" e v
+  | Try_acquire -> "try_acquire"
+  | Release -> "release"
+
+(* One interpreter over any runtime.  [release] is a no-op when the lock
+   is not held (tracked host-side) so every generated program is valid
+   on both backends. *)
+module Interp (R : Repro_runtime.Runtime_intf.S) = struct
+  let run ops =
+    let c = R.shared 0 in
+    let lock = R.lock_create () in
+    let held = ref false in
+    List.map
+      (fun op ->
+        match op with
+        | Read -> Int (R.read c)
+        | Write v ->
+          R.write c v;
+          Unit
+        | Swap v -> Int (R.swap c v)
+        | Cas (e, v) -> Bool (R.cas c e v)
+        | Try_acquire ->
+          let got = R.try_acquire lock in
+          if got then held := true;
+          Bool got
+        | Release ->
+          if !held then begin
+            R.release lock;
+            held := false
+          end;
+          Unit)
+      ops
+end
+
+module Interp_native = Interp (Native)
+module Interp_sim = Interp (Sim)
+
+(* Pure reference semantics: cell starts at 0; [cas] succeeds iff the
+   current value equals the expectation (ints are immediate, so the
+   runtimes' physical equality coincides with [=]); [try_acquire] fails
+   on a lock already held — including by the caller (neither Mutex nor
+   the simulator's lock is re-entrant). *)
+let model ops =
+  let v = ref 0 and held = ref false in
+  List.map
+    (fun op ->
+      match op with
+      | Read -> Int !v
+      | Write x ->
+        v := x;
+        Unit
+      | Swap x ->
+        let old = !v in
+        v := x;
+        Int old
+      | Cas (e, x) ->
+        if !v = e then begin
+          v := x;
+          Bool true
+        end
+        else Bool false
+      | Try_acquire ->
+        if !held then Bool false
+        else begin
+          held := true;
+          Bool true
+        end
+      | Release ->
+        held := false;
+        Unit)
+    ops
+
+let run_sim ops =
+  let out = ref [] in
+  let (_ : Machine.report) = Machine.run (fun () -> out := Interp_sim.run ops) in
+  !out
+
+let op_gen =
+  (* values from a small alphabet so cas expectations hit often *)
+  let small = QCheck.Gen.int_bound 3 in
+  QCheck.Gen.frequency
+    [
+      (2, QCheck.Gen.return Read);
+      (2, QCheck.Gen.map (fun v -> Write v) small);
+      (2, QCheck.Gen.map (fun v -> Swap v) small);
+      (3, QCheck.Gen.map2 (fun e v -> Cas (e, v)) small small);
+      (2, QCheck.Gen.return Try_acquire);
+      (2, QCheck.Gen.return Release);
+    ]
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 40) op_gen)
+
+let agreement_prop =
+  QCheck.Test.make ~count:500 ~name:"sim = native = model on random programs"
+    ops_arb (fun ops ->
+      let reference = model ops in
+      Interp_native.run ops = reference && run_sim ops = reference)
+
+(* --- concurrent cas semantics -------------------------------------------- *)
+
+let test_native_cas_loses_no_increments () =
+  let c = Native.shared 0 in
+  Native.run_processors 4 (fun _ ->
+      for _ = 1 to 1000 do
+        let rec bump () =
+          let seen = Native.read c in
+          if not (Native.cas c seen (seen + 1)) then bump ()
+        in
+        bump ()
+      done);
+  check_int "4 x 1000 cas increments" 4000 (Native.read c)
+
+let test_sim_cas_loses_no_increments () =
+  let final = ref 0 in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let c = Sim.shared 0 in
+        for _ = 1 to 8 do
+          Machine.spawn (fun () ->
+              for _ = 1 to 100 do
+                let rec bump () =
+                  let seen = Sim.read c in
+                  if not (Sim.cas c seen (seen + 1)) then bump ()
+                in
+                bump ()
+              done)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work (1 lsl 50);
+            final := Sim.read c))
+  in
+  check_int "8 x 100 cas increments" 800 !final
+
+let test_sim_cas_failure_writes_nothing () =
+  let r = ref (true, 0) in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let c = Sim.shared 5 in
+        let ok = Sim.cas c 6 7 in
+        r := (ok, Sim.read c))
+  in
+  check "failed cas returns false" true (fst !r = false);
+  check_int "failed cas leaves the value" 5 (snd !r)
+
+(* --- concurrent try_acquire semantics ------------------------------------ *)
+
+let test_native_try_acquire_mutual_exclusion () =
+  let lock = Native.lock_create () in
+  let counter = ref 0 in
+  Native.run_processors 4 (fun _ ->
+      for _ = 1 to 5_000 do
+        let rec spin () = if not (Native.try_acquire lock) then spin () in
+        spin ();
+        counter := !counter + 1;
+        Native.release lock
+      done);
+  check_int "no lost increments under try-lock" 20_000 !counter
+
+let test_sim_try_acquire_fails_while_held_without_parking () =
+  (* p0 holds the lock for 1000 cycles; p1's try at ~t=50 must fail and
+     return promptly (bounded cost, no parking until release), and its
+     retry after the release must succeed. *)
+  let first = ref true and cost = ref max_int and second = ref false in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let lock = Sim.lock_create () in
+        Machine.spawn (fun () ->
+            let got = Sim.try_acquire lock in
+            if got then begin
+              Machine.work 1_000;
+              Sim.release lock
+            end);
+        Machine.spawn (fun () ->
+            Machine.work 50;
+            let t0 = Machine.probe_time () in
+            first := Sim.try_acquire lock;
+            cost := Machine.probe_time () - t0;
+            Machine.work 2_000;
+            second := Sim.try_acquire lock;
+            if !second then Sim.release lock))
+  in
+  check "try on a held lock fails" true (not !first);
+  check "failed try returns promptly (no parking)" true (!cost > 0 && !cost < 500);
+  check "try after release succeeds" true !second
+
+let test_sim_try_acquire_counts_as_acquisition () =
+  (* A successful try_acquire is a real acquisition in the machine
+     report; a failed one is not. *)
+  let report =
+    Machine.run (fun () ->
+        let lock = Sim.lock_create () in
+        assert (Sim.try_acquire lock);
+        assert (not (Sim.try_acquire lock));
+        Sim.release lock)
+  in
+  check_int "exactly one acquisition" 1 report.Machine.lock_acquisitions;
+  check_int "no contention recorded" 0 report.Machine.lock_contentions
+
+let () =
+  Alcotest.run "runtime-agreement"
+    [
+      ( "sequential traces",
+        [ QCheck_alcotest.to_alcotest agreement_prop ] );
+      ( "cas",
+        [
+          Alcotest.test_case "native cas-loop loses nothing" `Quick
+            test_native_cas_loses_no_increments;
+          Alcotest.test_case "sim cas-loop loses nothing" `Quick
+            test_sim_cas_loses_no_increments;
+          Alcotest.test_case "failed cas writes nothing" `Quick
+            test_sim_cas_failure_writes_nothing;
+        ] );
+      ( "try_acquire",
+        [
+          Alcotest.test_case "native try-lock mutual exclusion" `Quick
+            test_native_try_acquire_mutual_exclusion;
+          Alcotest.test_case "sim try fails while held, no parking" `Quick
+            test_sim_try_acquire_fails_while_held_without_parking;
+          Alcotest.test_case "sim try counts as acquisition" `Quick
+            test_sim_try_acquire_counts_as_acquisition;
+        ] );
+    ]

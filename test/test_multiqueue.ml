@@ -1,0 +1,173 @@
+(* Tests for the relaxed MultiQueue (lib/multiqueue) on the simulator
+   backend: no element is ever lost or duplicated under concurrency, the
+   choice = shards configuration degenerates to an exact queue, emptiness
+   is definitive at quiescence, and the rank error of the 2-choice
+   configuration stays within its expected O(shards) envelope. *)
+
+module Machine = Repro_sim.Machine
+module Rng = Repro_util.Rng
+module MQ = Repro_multiqueue.Multiqueue.Make (Repro_sim.Sim_runtime) (Repro_pqueue.Key.Int)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* 8 virtual processors insert uniquely-tagged values and delete
+   concurrently; afterwards a post-mortem processor drains the queue.
+   Every inserted value must come back exactly once (from a measured
+   delete or the drain): the try-lock redirections and the cached-top
+   sampling must neither lose nor duplicate elements. *)
+let test_no_lost_or_duplicated_items () =
+  let inserted = ref [] and deleted = ref [] and drained = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = MQ.create ~procs:8 ~seed:5L () in
+        for p = 0 to 7 do
+          Machine.spawn (fun () ->
+              let rng = Rng.of_seed (Int64.of_int (100 + p)) in
+              for i = 0 to 199 do
+                if Rng.bernoulli rng 0.6 then begin
+                  let v = (p * 1_000_000) + i in
+                  MQ.insert q (Rng.int rng 4096) v;
+                  inserted := v :: !inserted
+                end
+                else
+                  match MQ.delete_min q with
+                  | None -> ()
+                  | Some (_, v) -> deleted := v :: !deleted
+              done)
+        done;
+        (* Post-mortem drain, far past quiescence. *)
+        Machine.spawn (fun () ->
+            Machine.work (1 lsl 50);
+            let rec drain () =
+              match MQ.delete_min q with
+              | None -> ()
+              | Some (_, v) ->
+                drained := v :: !drained;
+                drain ()
+            in
+            drain ()))
+  in
+  let sort = List.sort compare in
+  check "some concurrent deletes happened" true (!deleted <> []);
+  Alcotest.(check (list int))
+    "multiset conserved" (sort !inserted)
+    (sort (!deleted @ !drained))
+
+(* choice = shards compares every cached top, so a sequential execution
+   must return keys in exactly sorted order (rank error zero). *)
+let test_choice_equals_shards_is_exact () =
+  let out = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = MQ.create ~procs:1 ~shards:4 ~choice:4 ~stickiness:1 ~seed:9L () in
+        let rng = Rng.of_seed 11L in
+        for i = 0 to 199 do
+          MQ.insert q (Rng.int rng 100_000) i
+        done;
+        let rec drain () =
+          match MQ.delete_min q with
+          | None -> ()
+          | Some (k, _) ->
+            out := k :: !out;
+            drain ()
+        in
+        drain ())
+  in
+  let keys = List.rev !out in
+  check_int "all 200 drained" 200 (List.length keys);
+  check "drained in sorted order" true (keys = List.sort compare keys)
+
+(* Sequential 2-choice drain over 8 shards: the mean rank error (number
+   of live keys strictly smaller than the popped one) must stay within a
+   generous O(shards) envelope, and the reference multiset must empty
+   out exactly. *)
+let test_rank_error_within_envelope () =
+  let ranks = ref [] and leftover = ref (-1) in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = MQ.create ~procs:1 ~shards:8 ~choice:2 ~seed:3L () in
+        let live = ref [] in
+        let rng = Rng.of_seed 17L in
+        for i = 0 to 999 do
+          let k = Rng.int rng 1_000_000 in
+          MQ.insert q k i;
+          live := k :: !live
+        done;
+        let rec remove_one k = function
+          | [] -> []
+          | x :: tl -> if x = k then tl else x :: remove_one k tl
+        in
+        let rec drain () =
+          match MQ.delete_min q with
+          | None -> ()
+          | Some (k, _) ->
+            let rank = List.length (List.filter (fun x -> x < k) !live) in
+            ranks := float_of_int rank :: !ranks;
+            live := remove_one k !live;
+            drain ()
+        in
+        drain ();
+        leftover := List.length !live)
+  in
+  check_int "reference multiset drained" 0 !leftover;
+  check_int "all 1000 popped" 1000 (List.length !ranks);
+  let mean = List.fold_left ( +. ) 0.0 !ranks /. 1000.0 in
+  check "mean rank error within O(shards) envelope" true (mean < 40.0);
+  check "rank error nonnegative" true (List.for_all (fun r -> r >= 0.0) !ranks)
+
+let test_empty_is_definitive_and_queue_reusable () =
+  let r1 = ref (Some (0, 0)) and r2 = ref None and r3 = ref (Some (0, 0)) in
+  let len = ref (-1) and st = ref None in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = MQ.create ~procs:1 ~seed:1L () in
+        r1 := MQ.delete_min q;
+        MQ.insert q 42 7;
+        r2 := MQ.delete_min q;
+        r3 := MQ.delete_min q;
+        len := MQ.length q;
+        st := Some (MQ.stats q))
+  in
+  check "fresh queue is empty" true (!r1 = None);
+  check "returns the one inserted element" true (!r2 = Some (42, 7));
+  check "empty again after the pop" true (!r3 = None);
+  check_int "length 0 at quiescence" 0 !len;
+  match !st with
+  | None -> Alcotest.fail "no stats captured"
+  | Some s ->
+    check_int "one insert counted" 1 s.MQ.inserts;
+    check_int "three delete attempts counted" 3 s.MQ.deletes;
+    check "the two empty deletes fell back to full sweeps" true (s.MQ.full_sweeps >= 2);
+    check_int "no lock failures single-threaded" 0 s.MQ.lock_failures
+
+let test_shard_sizing () =
+  let s_default = ref 0 and s_explicit = ref 0 and rejected = ref false in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        s_default := MQ.shards (MQ.create ~procs:16 ());
+        s_explicit := MQ.shards (MQ.create ~shards:5 ~procs:16 ());
+        match MQ.create ~shard_factor:0 ~procs:1 () with
+        | (_ : int MQ.t) -> ()
+        | exception Invalid_argument _ -> rejected := true)
+  in
+  check_int "shard_factor * procs by default" 32 !s_default;
+  check_int "explicit shards override" 5 !s_explicit;
+  check "shard_factor < 1 rejected" true !rejected
+
+let () =
+  Alcotest.run "multiqueue"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "no lost or duplicated items" `Quick
+            test_no_lost_or_duplicated_items;
+          Alcotest.test_case "choice = shards is exact" `Quick
+            test_choice_equals_shards_is_exact;
+          Alcotest.test_case "rank error within envelope" `Quick
+            test_rank_error_within_envelope;
+          Alcotest.test_case "emptiness definitive, queue reusable" `Quick
+            test_empty_is_definitive_and_queue_reusable;
+          Alcotest.test_case "shard sizing" `Quick test_shard_sizing;
+        ] );
+    ]

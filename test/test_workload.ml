@@ -29,6 +29,7 @@ let all_sim_impls =
     QA.Sim.relaxed_skipqueue ();
     QA.Sim.hunt_heap ();
     QA.Sim.funnel_list ();
+    QA.Sim.multiqueue ~procs:8 ();
     QA.Sim.funneled_skipqueue ();
     QA.Sim.skipqueue_with_reclamation ();
   ]
@@ -127,6 +128,89 @@ let test_benchmark_rejects_bad_workload () =
       ignore
         (Benchmark.run (QA.Sim.skipqueue ())
            { tiny_workload with Benchmark.insert_ratio = 1.5 }))
+
+(* --- rank-error metric ----------------------------------------------------- *)
+
+let test_rank_error_sequential_exact () =
+  (* With one processor every structure — even the relaxed ones — returns
+     the true minimum, so the oracle must read exactly zero. *)
+  List.iter
+    (fun impl ->
+      let m = Benchmark.run impl { tiny_workload with Benchmark.procs = 1 } in
+      check (impl.QA.name ^ ": deletes were measured") true
+        (Stats.count m.Benchmark.rank_error > 0);
+      check
+        (impl.QA.name ^ ": sequential rank error is 0")
+        true
+        (Stats.mean m.Benchmark.rank_error = 0.0
+        && Stats.max_value m.Benchmark.rank_error = 0.0))
+    [
+      QA.Sim.skipqueue ();
+      QA.Sim.relaxed_skipqueue ();
+      QA.Sim.hunt_heap ();
+      QA.Sim.multiqueue ~procs:1 ~shards:4 ~choice:4 ();
+    ]
+
+let test_rank_error_orders_relaxations () =
+  (* Under concurrency the strict SkipQueue stays near-exact while the
+     2-choice MultiQueue pays a real but bounded rank error. *)
+  let mean impl =
+    let m = Benchmark.run impl tiny_workload in
+    Stats.mean m.Benchmark.rank_error
+  in
+  let strict = mean (QA.Sim.skipqueue ()) in
+  let mq = mean (QA.Sim.multiqueue ~procs:8 ()) in
+  check "strict skipqueue near-exact" true (strict < 2.0);
+  check "multiqueue pays a rank error" true (mq > strict);
+  check "multiqueue rank error bounded" true (mq < 200.0)
+
+(* --- adapter registry ------------------------------------------------------ *)
+
+let test_registry_lookup () =
+  let sim_names = QA.names QA.Sim in
+  check "sim registry has MultiQueue" true (List.mem "MultiQueue" sim_names);
+  check "native registry has MultiQueue" true
+    (List.mem "MultiQueue" (QA.names QA.Native));
+  (* find is total over names, and tolerant of case and spacing *)
+  check "find resolves every listed name" true
+    (List.for_all (fun n -> (QA.find QA.Sim n).QA.name = n) sim_names);
+  Alcotest.(check string)
+    "case/space-insensitive" "Relaxed SkipQueue"
+    (QA.find QA.Sim "relaxedskipqueue").QA.name;
+  Alcotest.(check string)
+    "lowercase with spaces" "SkipQueue + reclamation"
+    (QA.find QA.Sim "skipqueue +reclamation").QA.name;
+  (match QA.find QA.Sim "nosuchqueue" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    check "miss lists the known names" true
+      (let rec has i =
+         i + 9 <= String.length msg
+         && (String.sub msg i 9 = "SkipQueue" || has (i + 1))
+       in
+       has 0));
+  (* duplicate-key semantics recorded per implementation *)
+  check "skipqueue dedups" true (QA.find QA.Sim "skipqueue").QA.dedups;
+  check "multiqueue keeps duplicates" false (QA.find QA.Sim "multiqueue").QA.dedups
+
+let test_registry_instances_work () =
+  (* Every sim registry entry must actually run a few operations. *)
+  List.iter
+    (fun impl ->
+      let ok = ref false in
+      let (_ : Machine.report) =
+        Machine.run (fun () ->
+            let q = impl.QA.create () in
+            q.QA.insert 3 30;
+            q.QA.insert 1 10;
+            q.QA.insert 2 20;
+            (match q.QA.delete_min () with
+            | Some (k, _) -> ok := k >= 1 && k <= 3
+            | None -> ok := false);
+            ignore (q.QA.stats ()))
+      in
+      check (impl.QA.name ^ " runs") true !ok)
+    (QA.all QA.Sim)
 
 (* --- figures machinery ----------------------------------------------------- *)
 
@@ -273,6 +357,18 @@ let () =
           Alcotest.test_case "latency rises with procs" `Quick
             test_benchmark_more_procs_more_latency;
           Alcotest.test_case "rejects bad workload" `Quick test_benchmark_rejects_bad_workload;
+        ] );
+      ( "rank-error",
+        [
+          Alcotest.test_case "sequential runs are exact" `Quick
+            test_rank_error_sequential_exact;
+          Alcotest.test_case "orders the relaxations" `Quick
+            test_rank_error_orders_relaxations;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "every entry runs" `Quick test_registry_instances_work;
         ] );
       ( "figures",
         [
