@@ -1,0 +1,175 @@
+(* Schedule-exploration check driver: sweep N perturbation seeds over every
+   registered simulator backend (or a chosen subset), validate each recorded
+   history against the checker suite its declared spec selects, and report
+   violations as replayable seeds.
+
+     dune exec bin/check.exe -- --seeds 50
+     dune exec bin/check.exe -- --backend skipqueue --seeds 200 --jitter 48
+     dune exec bin/check.exe -- --replay 17 --backend heap
+     dune exec bin/check.exe -- --broken     # must FIND violations (exit 0 iff caught)
+
+   Exit status: 0 all clean, 1 violations found, 2 usage error.  Under
+   --broken the meaning flips: 0 the torn-SWAP queue was caught, 1 it
+   slipped through. *)
+
+open Cmdliner
+module QA = Repro_workload.Queue_adapter
+module Check = Repro_check.Checkers
+module Harness = Repro_check.Harness
+
+let pp_spec = function
+  | QA.Linearizable -> "linearizable"
+  | QA.Quiescent -> "quiescent"
+  | QA.Relaxed -> "relaxed"
+  | QA.Rank_bounded -> "rank-bounded"
+
+let select_impls backends broken =
+  if broken then [ Repro_check.Broken.skipqueue () ]
+  else
+    match backends with
+    | [] -> QA.all QA.Sim
+    | names -> (
+      try List.map (QA.find QA.Sim) names
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        Stdlib.exit 2)
+
+let print_violation ~impl ~profile (v : Harness.violation) =
+  Printf.printf "  VIOLATION seed=%Ld check=%s\n    %s\n" v.Harness.seed v.Harness.check
+    v.Harness.message;
+  Printf.printf "    replay: dune exec bin/check.exe -- --backend '%s' --replay %Ld%s\n" impl
+    v.Harness.seed
+    (if profile = Harness.default_profile then ""
+     else
+       Printf.sprintf " --procs %d --ops %d --jitter %d" profile.Harness.procs
+         profile.Harness.ops_per_proc profile.Harness.jitter)
+
+let run seeds start_seed backends procs ops jitter max_rank mean_rank broken replay quiet =
+  let profile =
+    {
+      Harness.default_profile with
+      Harness.procs;
+      ops_per_proc = ops;
+      jitter;
+    }
+  in
+  let bounds = { Check.default_bounds with Check.max_rank; mean_rank } in
+  let impls = select_impls backends broken in
+  let seed_list =
+    match replay with
+    | Some s -> [ s ]
+    | None -> Harness.seeds ~start:start_seed ~count:seeds
+  in
+  let summaries = Harness.sweep ~bounds ~profile impls seed_list in
+  let total_violations = ref 0 in
+  List.iter
+    (fun (s : Harness.summary) ->
+      total_violations := !total_violations + List.length s.Harness.violations;
+      if not quiet then
+        Printf.printf "%-28s %-13s %4d seeds  %7d ops  %s\n" s.Harness.impl (pp_spec s.Harness.spec)
+          s.Harness.runs s.Harness.events
+          (match s.Harness.violations with
+          | [] -> "ok"
+          | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
+      List.iter (print_violation ~impl:s.Harness.impl ~profile) s.Harness.violations)
+    summaries;
+  if broken then
+    if !total_violations > 0 then begin
+      if not quiet then
+        Printf.printf "\nbroken-queue validation: torn SWAP caught (%d violations) — fuzzer works\n"
+          !total_violations;
+      0
+    end
+    else begin
+      Printf.printf "\nbroken-queue validation FAILED: no violation found — fuzzer is blind\n";
+      1
+    end
+  else if !total_violations > 0 then begin
+    Printf.printf "\n%d violation(s) — replay with the printed seeds\n" !total_violations;
+    1
+  end
+  else begin
+    if not quiet then
+      Printf.printf "\nall clean: %d backend(s) x %d seed(s)\n" (List.length impls)
+        (List.length seed_list);
+    0
+  end
+
+let seeds =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of consecutive schedule seeds to sweep.")
+
+let start_seed =
+  Arg.(
+    value
+    & opt int64 1L
+    & info [ "start-seed" ] ~docv:"SEED" ~doc:"First seed of the sweep (seeds are SEED..SEED+N-1).")
+
+let backends =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "backend"; "b" ] ~docv:"NAME"
+        ~doc:
+          "Backend to check (repeatable, registry names, case/space \
+           insensitive).  Default: every registered simulator backend.")
+
+let procs =
+  Arg.(
+    value
+    & opt int Harness.default_profile.Harness.procs
+    & info [ "procs"; "p" ] ~docv:"P" ~doc:"Worker processors per run.")
+
+let ops =
+  Arg.(
+    value
+    & opt int Harness.default_profile.Harness.ops_per_proc
+    & info [ "ops" ] ~docv:"K" ~doc:"Operations per worker processor.")
+
+let jitter =
+  Arg.(
+    value
+    & opt int Harness.default_profile.Harness.jitter
+    & info [ "jitter" ] ~docv:"CYCLES"
+        ~doc:"Max extra scheduling delay per event (0 randomizes only same-time tie-breaks).")
+
+let max_rank =
+  Arg.(
+    value
+    & opt int Check.default_bounds.Check.max_rank
+    & info [ "max-rank" ] ~docv:"R"
+        ~doc:"Rank-envelope per-operation ceiling for rank-bounded backends.")
+
+let mean_rank =
+  Arg.(
+    value
+    & opt float Check.default_bounds.Check.mean_rank
+    & info [ "mean-rank" ] ~docv:"R" ~doc:"Rank-envelope per-run mean ceiling for rank-bounded backends.")
+
+let broken =
+  Arg.(
+    value & flag
+    & info [ "broken" ]
+        ~doc:
+          "Sweep the intentionally racy torn-SWAP SkipQueue instead; exit 0 \
+           only if the checkers catch it (fuzzer self-test).")
+
+let replay =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "replay" ] ~docv:"SEED" ~doc:"Run exactly one seed (reproduce a reported violation).")
+
+let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print violations and the final line only.")
+
+let cmd =
+  let doc = "sweep schedule seeds over the queue backends and check the recorded histories" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run $ seeds $ start_seed $ backends $ procs $ ops $ jitter $ max_rank $ mean_rank
+      $ broken $ replay $ quiet)
+
+let () = Stdlib.exit (Cmd.eval' cmd)

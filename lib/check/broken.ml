@@ -1,0 +1,58 @@
+(* A SkipQueue built over a runtime whose SWAP is deliberately torn into a
+   read followed by a write — two separate scheduler points instead of one
+   atomic step.  Two Delete-mins racing down the bottom level can then both
+   observe a node's deleted-flag as [false] and both claim it.  Depending
+   on the schedule the double-claim either returns one element twice (an
+   oracle "deleted twice" violation) or corrupts the list structure —
+   the second physical removal self-loops a level pointer or hunts for a
+   key that no longer exists, and the simulation never terminates.  The
+   runtime carries a generous access-budget watchdog so the wedged case
+   surfaces as a [Wedged] exception (which the harness reports as an
+   execution violation) instead of hanging the sweep.  Exists solely to
+   prove the fuzzer + checkers actually detect races (ISSUE acceptance: a
+   broken queue must be caught with a replayable seed). *)
+
+exception Wedged of string
+
+(* Host-side access counter, reset per instance; normal fuzz runs perform
+   a few tens of thousands of reads, the budget is ~40x that. *)
+let budget = 1_000_000
+let reads = ref 0
+
+module Torn_swap_runtime = struct
+  include Repro_sim.Sim_runtime
+
+  let read cell =
+    incr reads;
+    if !reads > budget then
+      raise
+        (Wedged
+           (Printf.sprintf
+              "torn-SWAP corruption: structure wedged after %d reads (unbounded hunt)" budget));
+    Repro_sim.Sim_runtime.read cell
+
+  let swap cell v =
+    let old = read cell in
+    Repro_sim.Sim_runtime.write cell v;
+    old
+end
+
+module SQ = Repro_skipqueue.Skipqueue.Make (Torn_swap_runtime) (Repro_pqueue.Key.Int)
+
+let name = "BrokenSkipQueue"
+
+let skipqueue () =
+  {
+    Repro_workload.Queue_adapter.name;
+    dedups = true;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        reads := 0;
+        let q = SQ.create ~mode:SQ.Strict () in
+        {
+          Repro_workload.Queue_adapter.insert = (fun k v -> ignore (SQ.insert q k v));
+          delete_min = (fun () -> SQ.delete_min q);
+          stats = (fun () -> []);
+        });
+  }

@@ -1,0 +1,17 @@
+(** A deliberately racy SkipQueue for validating the fuzzer.
+
+    Identical to the registry's strict SkipQueue except its runtime's SWAP
+    is torn into a non-atomic read-then-write (two scheduler points), so
+    racing Delete-mins can both claim one node.  A schedule sweep over it
+    must produce violations ([bin/check --broken] asserts exactly that);
+    it is not part of {!Repro_workload.Queue_adapter.all}. *)
+
+exception Wedged of string
+(** Raised (from inside the simulation) when the corrupted structure sends
+    an operation into an unbounded hunt; the harness reports it as an
+    execution violation for the seed instead of hanging. *)
+
+val name : string
+
+val skipqueue : unit -> Repro_workload.Queue_adapter.impl
+(** Simulator-only: [create] must run inside [Machine.run]. *)

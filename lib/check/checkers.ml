@@ -1,0 +1,347 @@
+module O = Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
+module QA = Repro_workload.Queue_adapter
+
+type history = {
+  impl : string;
+  dedups : bool;
+  spec : QA.spec;
+  seed : int64;
+  events : O.event list; (* response order *)
+  drained : (int * int) list; (* post-quiescence drain, in pop order *)
+}
+
+type verdict = Pass | Fail of string | Skip of string
+
+type bounds = { max_window : int; max_rank : int; mean_rank : float }
+
+(* The rank ceilings are sized for the registry's MultiQueue (32 shards,
+   2-choice): its expected per-delete rank error is O(shards), so the mean
+   must stay below the shard count and no single delete should exceed a
+   few multiples of it.  An 80-seed sweep of the default profile observed
+   worst mean 19.0 and worst single rank 50. *)
+let default_bounds = { max_window = 8; max_rank = 128; mean_rank = 32.0 }
+
+let of_result = function Ok () -> Pass | Error msg -> Fail msg
+
+(* --- wrappers over the lib/pqueue oracle --------------------------------- *)
+
+let well_formed h = of_result (O.check_well_formed h.events)
+
+let conservation h =
+  (* The drain of a rank-relaxed queue pops sampled shard minima, not the
+     global minimum, so only the multiset part of the oracle's condition
+     applies — sort the drain before handing it over. *)
+  let drained =
+    match h.spec with
+    | QA.Rank_bounded -> List.sort compare h.drained
+    | QA.Linearizable | QA.Quiescent | QA.Relaxed -> h.drained
+  in
+  of_result (O.check_conservation ~initial:[] ~drained h.events)
+
+let strict_conservative h = of_result (O.check_strict h.events)
+let relaxed_conservative h = of_result (O.check_relaxed h.events)
+
+(* --- sequential-spec replay ---------------------------------------------- *)
+
+module Int_map = Map.Make (Int)
+
+(* Applies only to histories with no overlapping operations (e.g. a
+   single-worker fuzz run): every response is then checked against the
+   sequential specification, exactly. *)
+let sequential_replay h =
+  let by_invocation =
+    List.sort (fun a b -> compare (a.O.invoked, a.O.responded) (b.O.invoked, b.O.responded))
+      h.events
+  in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) -> a.O.responded > b.O.invoked || overlaps rest
+    | [] | [ _ ] -> false
+  in
+  if overlaps by_invocation then Skip "history is concurrent"
+  else begin
+    (* live : key -> id list (a singleton under update-in-place) *)
+    let step live e =
+      match e.O.op with
+      | O.Insert { key; id } ->
+        let ids = Option.value ~default:[] (Int_map.find_opt key live) in
+        let ids = if h.dedups then [ id ] else id :: ids in
+        Ok (Int_map.add key ids live)
+      | O.Delete_min { result = None } ->
+        if Int_map.is_empty live then Ok live
+        else
+          Error
+            (Printf.sprintf "sequential Delete-min returned EMPTY with %d live keys"
+               (Int_map.cardinal live))
+      | O.Delete_min { result = Some (key, id) } -> (
+        match Int_map.min_binding_opt live with
+        | None -> Error (Printf.sprintf "sequential Delete-min returned %d from an empty queue" key)
+        | Some (min_key, ids) ->
+          if key <> min_key then
+            Error
+              (Printf.sprintf "sequential Delete-min returned key %d, minimum was %d"
+                 key min_key)
+          else if not (List.mem id ids) then
+            Error (Printf.sprintf "sequential Delete-min returned id %d not live for key %d" id key)
+          else
+            let ids = List.filter (fun i -> i <> id) ids in
+            Ok (if ids = [] then Int_map.remove key live else Int_map.add key ids live))
+    in
+    let rec replay live = function
+      | [] -> Pass
+      | e :: rest -> ( match step live e with Ok live -> replay live rest | Error m -> Fail m)
+    in
+    replay Int_map.empty by_invocation
+  end
+
+(* --- quiescent consistency ----------------------------------------------- *)
+
+(* Conservative quiescent-consistency condition: a Delete-min [d] must not
+   return a key above (or EMPTY instead of) an element that was fully
+   inserted before the start of [d]'s busy period — the maximal interval of
+   pairwise-overlapping activity containing [d] — unless a delete that
+   could be serialized before [d] removed it.  Weaker than
+   {!strict_conservative} (which uses [d]'s own invocation as the cut), but
+   it is the condition quiescently-consistent relaxations must still
+   satisfy.
+
+   [transit_tolerant] additionally exempts any [d] that overlaps another
+   in-flight Delete-min: structures like the Hunt heap carry a detached
+   element in the deleting processor's hands — in no slot, invisible —
+   until that delete finishes, so a concurrent delete may legitimately
+   miss it.  The schedule fuzzer exhibits exactly this on the heap (a
+   fully-inserted key rides through a concurrent delete while a larger key
+   is returned, then lands and survives to the drain). *)
+let quiescent ?(transit_tolerant = false) h =
+  let by_invocation =
+    List.sort (fun a b -> compare (a.O.invoked, a.O.responded) (b.O.invoked, b.O.responded))
+      h.events
+  in
+  (* Assign each event the start time of its merged busy interval. *)
+  let period_start = Hashtbl.create 64 in
+  let _ =
+    List.fold_left
+      (fun acc e ->
+        let start, reach =
+          match acc with
+          | Some (start, reach) when e.O.invoked < reach -> (start, Int.max reach e.O.responded)
+          | _ -> (e.O.invoked, e.O.responded)
+        in
+        Hashtbl.replace period_start e start;
+        Some (start, reach))
+      None by_invocation
+  in
+  let deletes_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.O.op with
+      | O.Delete_min { result = Some (_, id) } -> Hashtbl.add deletes_by_id id e
+      | _ -> ())
+    h.events;
+  let violates d =
+    let q = Hashtbl.find period_start d in
+    let d_key =
+      match d.O.op with
+      | O.Delete_min { result = Some (k, _) } -> Some k
+      | O.Delete_min { result = None } -> None
+      | O.Insert _ -> assert false
+    in
+    List.find_map
+      (fun e ->
+        match e.O.op with
+        | O.Insert { key = y_key; id = y_id } when e.O.responded < q ->
+          (* A delete that took [y] can serialize before [d] unless it sits
+             in a strictly later busy period (quiescent consistency permits
+             arbitrary reordering within one busy period). *)
+          let taken_before_d =
+            match Hashtbl.find_opt deletes_by_id y_id with
+            | Some d' -> Hashtbl.find period_start d' <= q
+            | None -> false
+          in
+          if taken_before_d then None
+          else begin
+            match d_key with
+            | None ->
+              Some
+                (Printf.sprintf
+                   "Delete-min returned EMPTY while key %d (id %d, quiescently present) was available"
+                   y_key y_id)
+            | Some k when k > y_key ->
+              Some
+                (Printf.sprintf
+                   "Delete-min returned %d while smaller key %d (id %d) survived the last quiescent point"
+                   k y_key y_id)
+            | Some _ -> None
+          end
+        | O.Insert _ | O.Delete_min _ -> None)
+      h.events
+  in
+  let overlapped_by_delete d =
+    List.exists
+      (fun e ->
+        match e.O.op with
+        | O.Delete_min _ -> e != d && e.O.invoked < d.O.responded && e.O.responded > d.O.invoked
+        | O.Insert _ -> false)
+      h.events
+  in
+  let rec scan = function
+    | [] -> Pass
+    | e :: rest -> (
+      match e.O.op with
+      | O.Insert _ -> scan rest
+      | O.Delete_min _ when transit_tolerant && overlapped_by_delete e -> scan rest
+      | O.Delete_min _ -> ( match violates e with None -> scan rest | Some m -> Fail m))
+  in
+  scan h.events
+
+(* --- windowed exhaustive Definition-1 search ------------------------------ *)
+
+(* Wing&Gong-style bounded search.  The Delete-mins, sorted by invocation,
+   decompose into chunks separated in real time (every delete of an earlier
+   chunk responded strictly before every delete of a later one was invoked);
+   Definition 1 forces any serialization to respect that order, so the
+   global search factors exactly into one search per chunk, with earlier
+   chunks' returned elements marked consumed by dropping their insert
+   events.  Chunks wider than [max_window] overlapping deletes are skipped
+   (the factorial search is infeasible there; {!strict_conservative} still
+   covers them). *)
+let strict_exhaustive_windowed ?(bounds = default_bounds) h =
+  let is_delete e = match e.O.op with O.Delete_min _ -> true | O.Insert _ -> false in
+  let deletes =
+    List.sort (fun a b -> compare (a.O.invoked, a.O.responded) (b.O.invoked, b.O.responded))
+      (List.filter is_delete h.events)
+  in
+  let chunks =
+    (* accumulate in reverse; break when the running response horizon
+       strictly precedes the next invocation *)
+    let flush chunk chunks = if chunk = [] then chunks else List.rev chunk :: chunks in
+    let rec go chunk horizon chunks = function
+      | [] -> List.rev (flush chunk chunks)
+      | d :: rest ->
+        if chunk <> [] && horizon < d.O.invoked then
+          go [ d ] d.O.responded (flush chunk chunks) rest
+        else go (d :: chunk) (Int.max horizon d.O.responded) chunks rest
+    in
+    go [] min_int [] deletes
+  in
+  let inserts = List.filter (fun e -> not (is_delete e)) h.events in
+  let consumed_ids chunk =
+    List.filter_map
+      (fun d ->
+        match d.O.op with
+        | O.Delete_min { result = Some (_, id) } -> Some id
+        | O.Delete_min { result = None } | O.Insert _ -> None)
+      chunk
+  in
+  let module Int_set = Set.Make (Int) in
+  let rec check_chunks consumed skipped checked = function
+    | [] ->
+      if checked = 0 && skipped > 0 then
+        Skip (Printf.sprintf "all %d delete windows exceeded the search bound" skipped)
+      else Pass
+    | chunk :: rest ->
+      if List.length chunk > bounds.max_window then
+        check_chunks
+          (Int_set.union consumed (Int_set.of_list (consumed_ids chunk)))
+          (skipped + 1) checked rest
+      else begin
+        let visible_inserts =
+          List.filter
+            (fun e ->
+              match e.O.op with
+              | O.Insert { id; _ } -> not (Int_set.mem id consumed)
+              | O.Delete_min _ -> false)
+            inserts
+        in
+        match O.check_strict_exhaustive ~max_deletes:bounds.max_window (visible_inserts @ chunk) with
+        | Error msg -> Fail msg
+        | Ok () ->
+          check_chunks
+            (Int_set.union consumed (Int_set.of_list (consumed_ids chunk)))
+            skipped (checked + 1) rest
+      end
+  in
+  check_chunks Int_set.empty 0 0 chunks
+
+(* --- rank-error envelope -------------------------------------------------- *)
+
+(* Replays the history in completion order against a live multiset and
+   measures each Delete-min's rank error (live elements strictly smaller
+   than the returned key), exactly like the benchmark's host-side oracle: a
+   delete may complete before the insert that fed it, booked as a debt by
+   element id.  The envelope fails on any per-operation rank above
+   [max_rank] or a mean above [mean_rank]. *)
+let rank_envelope ?(bounds = default_bounds) h =
+  let live = Hashtbl.create 256 in (* id -> key *)
+  let debts = Hashtbl.create 16 in
+  let total = ref 0.0 and count = ref 0 and worst = ref 0 in
+  let rank_below key =
+    Hashtbl.fold (fun _ k acc -> if k < key then acc + 1 else acc) live 0
+  in
+  let violation =
+    List.find_map
+      (fun e ->
+        match e.O.op with
+        | O.Insert { key; id } ->
+          if Hashtbl.mem debts id then Hashtbl.remove debts id
+          else Hashtbl.replace live id key;
+          None
+        | O.Delete_min { result = None } -> None
+        | O.Delete_min { result = Some (key, id) } ->
+          let rank = rank_below key in
+          incr count;
+          total := !total +. float_of_int rank;
+          if rank > !worst then worst := rank;
+          if Hashtbl.mem live id then Hashtbl.remove live id
+          else Hashtbl.replace debts id ();
+          if rank > bounds.max_rank then
+            Some
+              (Printf.sprintf "Delete-min of key %d had rank error %d (envelope max %d)"
+                 key rank bounds.max_rank)
+          else None)
+      h.events
+  in
+  match violation with
+  | Some msg -> Fail msg
+  | None ->
+    let mean = if !count = 0 then 0.0 else !total /. float_of_int !count in
+    if mean > bounds.mean_rank then
+      Fail
+        (Printf.sprintf "mean rank error %.2f over %d deletes exceeds envelope %.2f (max seen %d)"
+           mean !count bounds.mean_rank !worst)
+    else Pass
+
+(* --- per-spec suites ------------------------------------------------------ *)
+
+let for_spec ?(bounds = default_bounds) spec =
+  let common = [ ("well-formed", well_formed); ("conservation", conservation) ] in
+  match spec with
+  | QA.Linearizable ->
+    common
+    @ [
+        ("sequential-replay", sequential_replay);
+        ("quiescent", quiescent ~transit_tolerant:false);
+        ("strict (Def 1, conservative)", strict_conservative);
+        ("strict (Def 1, exhaustive windows)", strict_exhaustive_windowed ~bounds);
+      ]
+  | QA.Quiescent ->
+    common
+    @ [
+        ("sequential-replay", sequential_replay);
+        ("quiescent (transit-tolerant)", quiescent ~transit_tolerant:true);
+        ("rank-envelope", rank_envelope ~bounds);
+      ]
+  | QA.Relaxed ->
+    common
+    @ [
+        ("sequential-replay", sequential_replay);
+        ("quiescent", quiescent ~transit_tolerant:false);
+        ("relaxed (\xc2\xa75.4, conservative)", relaxed_conservative);
+      ]
+  | QA.Rank_bounded -> common @ [ ("rank-envelope", rank_envelope ~bounds) ]
+
+let check_all ?bounds h = List.map (fun (name, f) -> (name, f h)) (for_spec ?bounds h.spec)
+
+let failures verdicts =
+  List.filter_map
+    (fun (name, v) -> match v with Fail msg -> Some (name, msg) | Pass | Skip _ -> None)
+    verdicts

@@ -1,0 +1,95 @@
+(** Correctness checkers over recorded queue histories.
+
+    Each checker consumes a {!history} — the events recorded by
+    {!History.wrap} plus the post-quiescence drain — and returns a
+    {!verdict}.  All checks are sound (a [Fail] is a real violation of the
+    stated property); the exhaustive Definition-1 search is additionally
+    complete within its window bound, the others are deliberately
+    conservative where full linearizability checking would be intractable.
+    {!for_spec} selects the suite an implementation's declared
+    {!Repro_workload.Queue_adapter.spec} is held to. *)
+
+module O : module type of Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
+
+type history = {
+  impl : string;  (** registry name of the implementation under test *)
+  dedups : bool;  (** {!Repro_workload.Queue_adapter.impl.dedups} *)
+  spec : Repro_workload.Queue_adapter.spec;
+  seed : int64;  (** the schedule seed, for replay *)
+  events : O.event list;  (** in response (completion) order *)
+  drained : (int * int) list;
+      (** elements left in the structure after quiescence, in pop order *)
+}
+
+type verdict =
+  | Pass
+  | Fail of string  (** a definite violation of the checked property *)
+  | Skip of string  (** the check does not apply to this history *)
+
+type bounds = {
+  max_window : int;
+      (** largest group of real-time-overlapping Delete-mins the exhaustive
+          search will enumerate (the search is factorial in this) *)
+  max_rank : int;  (** rank-envelope per-operation ceiling *)
+  mean_rank : float;  (** rank-envelope mean ceiling *)
+}
+
+val default_bounds : bounds
+
+val well_formed : history -> verdict
+(** {!O.check_well_formed}: sane timestamps, per-processor sequentiality,
+    unique insert ids, no element deleted twice. *)
+
+val conservation : history -> verdict
+(** {!O.check_conservation}: inserted = deleted + drained as id multisets,
+    and the drain pops in ascending key order.  For [Rank_bounded]
+    implementations the drain is sorted first — their quiescent pops
+    sample shard minima, so only the multiset half of the condition is
+    part of the contract. *)
+
+val sequential_replay : history -> verdict
+(** Exact replay against the sequential specification.  Applies only when
+    no two operations overlap in time (otherwise [Skip]) — which the
+    fuzzer's single-worker runs guarantee. *)
+
+val quiescent : ?transit_tolerant:bool -> history -> verdict
+(** Quiescent consistency, conservatively: a Delete-min must respect
+    elements fully inserted before the start of its busy period (the
+    maximal run of pairwise-overlapping operations containing it) unless a
+    delete not separated from it by a quiescent point removed them.
+    [transit_tolerant] (default false) additionally exempts deletes that
+    overlap another in-flight delete — the contract of structures like the
+    Hunt heap, whose delete-min carries a detached element outside any
+    slot, invisible to concurrent operations, until it completes. *)
+
+val strict_conservative : history -> verdict
+(** {!O.check_strict}: per-delete necessary condition for Definition 1. *)
+
+val relaxed_conservative : history -> verdict
+(** {!O.check_relaxed}: the §5.4 contract — concurrent inserts may also
+    supply the answer. *)
+
+val strict_exhaustive_windowed : ?bounds:bounds -> history -> verdict
+(** Bounded Wing&Gong-style search for a Definition-1 serialization.
+    Delete-mins factor into windows separated in real time (every earlier
+    delete responded strictly before every later one was invoked); any
+    valid serialization respects that separation, so each window is
+    searched independently via {!O.check_strict_exhaustive}, with elements
+    consumed by earlier windows removed.  Windows wider than
+    [bounds.max_window] are skipped; [Skip] if every window was. *)
+
+val rank_envelope : ?bounds:bounds -> history -> verdict
+(** Statistical contract for [Rank_bounded] implementations: replays in
+    completion order and fails on any Delete-min whose rank error (live
+    smaller elements) exceeds [bounds.max_rank], or a run mean above
+    [bounds.mean_rank]. *)
+
+val for_spec :
+  ?bounds:bounds -> Repro_workload.Queue_adapter.spec -> (string * (history -> verdict)) list
+(** The named suite a given correctness contract is held to. *)
+
+val check_all : ?bounds:bounds -> history -> (string * verdict) list
+(** [for_spec h.spec] applied to [h]. *)
+
+val failures : (string * verdict) list -> (string * string) list
+(** Just the [Fail]s, as [(check-name, message)]. *)

@@ -1,0 +1,119 @@
+module Machine = Repro_sim.Machine
+module QA = Repro_workload.Queue_adapter
+module Rng = Repro_util.Rng
+
+type profile = {
+  procs : int;
+  ops_per_proc : int;
+  prefill : int;
+  insert_ratio : float;
+  key_range : int;
+  jitter : int;
+}
+
+let default_profile =
+  { procs = 6; ops_per_proc = 30; prefill = 16; insert_ratio = 0.5; key_range = 256; jitter = 24 }
+
+(* The SkipQueue family updates in place on duplicate keys, silently
+   retiring the overwritten element's id — which id-exact conservation
+   (rightly) rejects.  For those implementations the harness makes every
+   inserted key unique by appending a host-side counter tag in the low
+   bits; raw-key order is preserved, ties are broken by insertion order. *)
+let tag_bits = 16
+
+let run_one ?(profile = default_profile) (impl : QA.impl) seed =
+  if profile.procs < 1 then invalid_arg "Harness.run_one: procs < 1";
+  let history = History.create () in
+  let drained = ref [] in
+  let tag = ref 0 in
+  let mk_key raw =
+    if impl.QA.dedups then begin
+      incr tag;
+      if !tag >= 1 lsl tag_bits then invalid_arg "Harness.run_one: too many inserts for key tagging";
+      (raw lsl tag_bits) lor !tag
+    end
+    else raw
+  in
+  let _report =
+    Machine.run ~perturb:{ Machine.sched_seed = seed; jitter = profile.jitter } (fun () ->
+        let q = impl.QA.create () in
+        let hq = History.wrap history q in
+        (* prefill on the root processor, strictly before any worker *)
+        let rng0 = Rng.of_seed (Int64.logxor seed 0x5851F42D4C957F2DL) in
+        for i = 0 to profile.prefill - 1 do
+          hq.QA.insert (mk_key (Rng.int rng0 profile.key_range)) (900_000_000 + i)
+        done;
+        for p = 0 to profile.procs - 1 do
+          Machine.spawn (fun () ->
+              let rng =
+                Rng.of_seed
+                  (Int64.logxor seed (Int64.mul (Int64.of_int (p + 1)) 0x9E3779B97F4A7C15L))
+              in
+              for i = 0 to profile.ops_per_proc - 1 do
+                if Rng.int rng 1000 < int_of_float (profile.insert_ratio *. 1000.) then
+                  hq.QA.insert (mk_key (Rng.int rng profile.key_range)) (((p + 1) * 100_000) + i)
+                else ignore (hq.QA.delete_min ());
+                Machine.work (1 + Rng.int rng 96)
+              done)
+        done;
+        (* quiescent drain: far-future start, unrecorded accesses *)
+        Machine.spawn (fun () ->
+            Machine.work (1 lsl 55);
+            let rec go () =
+              match q.QA.delete_min () with
+              | Some kv ->
+                drained := kv :: !drained;
+                go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  {
+    Checkers.impl = impl.QA.name;
+    dedups = impl.QA.dedups;
+    spec = impl.QA.spec;
+    seed;
+    events = History.events history;
+    drained = List.rev !drained;
+  }
+
+type violation = { seed : int64; check : string; message : string }
+
+type summary = {
+  impl : string;
+  spec : QA.spec;
+  runs : int;
+  events : int;  (** total recorded operations across all runs *)
+  violations : violation list;
+}
+
+let seeds ~start ~count = List.init count (fun i -> Int64.add start (Int64.of_int i))
+
+let sweep_impl ?bounds ?profile (impl : QA.impl) seed_list =
+  let events = ref 0 in
+  let violations =
+    List.concat_map
+      (fun seed ->
+        (* A run that crashes, deadlocks, or wedges (e.g. a race corrupted
+           the structure into an unbounded hunt) is itself a caught,
+           replayable violation — not a sweep failure. *)
+        match run_one ?profile impl seed with
+        | h ->
+          events := !events + List.length h.Checkers.events;
+          List.map
+            (fun (check, message) -> { seed; check; message })
+            (Checkers.failures (Checkers.check_all ?bounds h))
+        | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+        | exception e -> [ { seed; check = "execution"; message = Printexc.to_string e } ])
+      seed_list
+  in
+  {
+    impl = impl.QA.name;
+    spec = impl.QA.spec;
+    runs = List.length seed_list;
+    events = !events;
+    violations;
+  }
+
+let sweep ?bounds ?profile impls seed_list =
+  List.map (fun impl -> sweep_impl ?bounds ?profile impl seed_list) impls

@@ -1,0 +1,57 @@
+(** The schedule-exploration fuzzer: seeded perturbed executions of any
+    registered queue implementation on the simulator, checked against the
+    suite its declared {!Repro_workload.Queue_adapter.spec} selects.
+
+    One run = one [Machine.run] under a {!Repro_sim.Machine.perturbation}
+    derived from the seed: a prefilled queue hammered by [procs] worker
+    processors doing a random insert/delete-min mix, recorded by
+    {!History.wrap}, then drained at quiescence.  Everything — workload
+    randomness, schedule tie-breaks, latency jitter — is a deterministic
+    function of the seed, so any reported violation replays exactly. *)
+
+type profile = {
+  procs : int;  (** worker processors (the drain runs on one more) *)
+  ops_per_proc : int;
+  prefill : int;  (** elements inserted by the root before workers start *)
+  insert_ratio : float;  (** probability an op is an insert, in [0,1] *)
+  key_range : int;  (** raw priorities are uniform in [0, key_range) *)
+  jitter : int;  (** {!Repro_sim.Machine.perturbation.jitter} *)
+}
+
+val default_profile : profile
+(** 6 procs x 30 ops, 16 prefilled, half inserts, keys < 256, jitter 24 —
+    small enough that the exhaustive Definition-1 windows usually apply,
+    contended enough to explore real races. *)
+
+val run_one : ?profile:profile -> Repro_workload.Queue_adapter.impl -> int64 -> Checkers.history
+(** One perturbed execution under the given schedule seed.  For
+    implementations that update duplicate keys in place ([dedups]), raw
+    keys are made unique by a low-bits insertion counter (order-preserving)
+    so id-exact conservation applies. *)
+
+type violation = { seed : int64; check : string; message : string }
+
+type summary = {
+  impl : string;
+  spec : Repro_workload.Queue_adapter.spec;
+  runs : int;
+  events : int;  (** total recorded operations across all runs *)
+  violations : violation list;
+}
+
+val seeds : start:int64 -> count:int -> int64 list
+
+val sweep_impl :
+  ?bounds:Checkers.bounds ->
+  ?profile:profile ->
+  Repro_workload.Queue_adapter.impl ->
+  int64 list ->
+  summary
+(** Runs every seed through {!run_one} and {!Checkers.check_all}. *)
+
+val sweep :
+  ?bounds:Checkers.bounds ->
+  ?profile:profile ->
+  Repro_workload.Queue_adapter.impl list ->
+  int64 list ->
+  summary list

@@ -1,0 +1,46 @@
+module O = Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
+module Machine = Repro_sim.Machine
+
+type t = { mutable rev_events : O.event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t event =
+  t.rev_events <- event :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+let length t = t.count
+
+(* Timestamps come from [Machine.probe_time] (free of simulated charge) and
+   the event list is host state, mutated only between simulator effects —
+   so recording perturbs neither the schedule nor the cycle counts. *)
+let wrap t (q : Repro_workload.Queue_adapter.instance) =
+  {
+    q with
+    Repro_workload.Queue_adapter.insert =
+      (fun key id ->
+        let proc = Machine.self () in
+        let invoked = Machine.probe_time () in
+        q.Repro_workload.Queue_adapter.insert key id;
+        record t
+          {
+            O.proc;
+            op = O.Insert { key; id };
+            invoked;
+            responded = Machine.probe_time ();
+          });
+    delete_min =
+      (fun () ->
+        let proc = Machine.self () in
+        let invoked = Machine.probe_time () in
+        let result = q.Repro_workload.Queue_adapter.delete_min () in
+        record t
+          {
+            O.proc;
+            op = O.Delete_min { result };
+            invoked;
+            responded = Machine.probe_time ();
+          };
+        result);
+  }

@@ -1,0 +1,28 @@
+(** History recording for queue executions on the simulator.
+
+    A recorder wraps any {!Repro_workload.Queue_adapter.instance} and logs
+    one {!O.event} per completed insert / delete-min, timestamped with the
+    calling virtual processor's clock at invocation and response.
+    Timestamps are read with {!Repro_sim.Machine.probe_time} and the log is
+    host-side state, so recording costs no simulated cycles and cannot
+    change the schedule — the recorded run {e is} the measured run.
+
+    The harness uses the element's payload value as its unique identity
+    ([O.Insert.id]); callers of {!wrap} must insert unique values. *)
+
+module O : module type of Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
+
+type t
+
+val create : unit -> t
+
+val wrap : t -> Repro_workload.Queue_adapter.instance -> Repro_workload.Queue_adapter.instance
+(** [wrap t q] is [q] with insert/delete-min recording into [t].  Must be
+    used inside [Machine.run] (the timestamps are simulator clocks).
+    [q.stats] passes through unrecorded. *)
+
+val events : t -> O.event list
+(** All recorded events in response (completion) order — the order the
+    simulator serialized the host-side recording calls. *)
+
+val length : t -> int

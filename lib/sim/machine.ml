@@ -12,6 +12,8 @@ type report = {
 
 exception Deadlock of string
 
+type perturbation = { sched_seed : int64; jitter : int }
+
 type lock = {
   lock_meta : Memory_model.meta;
   lock_name : string;
@@ -36,6 +38,7 @@ type state = {
   config : Memory_model.config;
   memory : Memory_model.system;
   tracer : Trace.sink option;
+  perturb : (Repro_util.Rng.t * int) option; (* rng, max jitter cycles *)
   events : (int * (unit -> unit)) Event_queue.t; (* keyed by (clock, seq) *)
   mutable seq : int;
   mutable current : int; (* running processor *)
@@ -55,9 +58,22 @@ type state = {
   mutable lock_wait_cycles : int;
 }
 
+(* Without [perturb] the key is [(at, seq)]: same-time events run FIFO and
+   the whole simulation is a pure function of the program.  With it, the
+   seeded stream delays each event by up to [jitter] cycles and replaces
+   the FIFO sequence number with a random tie-break, so distinct seeds
+   explore distinct (but individually deterministic and replayable) legal
+   interleavings — the schedule fuzzer's lever. *)
 let enqueue st ~proc ~at thunk =
   st.seq <- st.seq + 1;
-  Event_queue.insert st.events (at, st.seq) (proc, thunk)
+  let key =
+    match st.perturb with
+    | None -> (at, st.seq)
+    | Some (rng, jitter) ->
+      let at = if jitter > 0 then at + Repro_util.Rng.int rng (jitter + 1) else at in
+      (at, Repro_util.Rng.int rng 0x4000_0000)
+  in
+  Event_queue.insert st.events key (proc, thunk)
 
 let handoff_cost st = st.config.Memory_model.remote_fetch
 
@@ -86,12 +102,18 @@ let charge_access st meta kind =
            queued = c.queued;
          })
 
-let run ?(config = Memory_model.default) ?tracer main =
+let run ?(config = Memory_model.default) ?tracer ?perturb main =
   let st =
     {
       config;
       memory = Memory_model.make_system config;
       tracer;
+      perturb =
+        Option.map
+          (fun p ->
+            if p.jitter < 0 then invalid_arg "Machine.run: negative jitter";
+            (Repro_util.Rng.of_seed p.sched_seed, p.jitter))
+          perturb;
       events = Event_queue.create ();
       seq = 0;
       current = 0;

@@ -28,13 +28,29 @@ type report = {
 exception Deadlock of string
 (** Raised when no processor is runnable but some are parked on locks. *)
 
+type perturbation = { sched_seed : int64; jitter : int }
+(** Schedule-exploration mode (the history fuzzer's lever).  A seeded
+    stream randomizes the tie-break between same-time events (replacing
+    the FIFO sequence number) and delays every scheduled event by a
+    uniform 0..[jitter] extra cycles, so distinct seeds drive the same
+    program through distinct legal interleavings.  Each seed remains fully
+    deterministic and replayable; [jitter = 0] leaves event times exact
+    and randomizes only the ties. *)
+
 val run :
-  ?config:Memory_model.config -> ?tracer:Trace.sink -> (unit -> unit) -> report
+  ?config:Memory_model.config ->
+  ?tracer:Trace.sink ->
+  ?perturb:perturbation ->
+  (unit -> unit) ->
+  report
 (** [run main] executes [main] as virtual processor 0 and returns when all
     processors (0 and everything it {!spawn}ed, transitively) have
     finished.  Exceptions raised by processors propagate.  [tracer]
     receives every scheduling and memory event (see {!Trace}); tracing a
-    long benchmark is expensive, use it on diagnostic runs. *)
+    long benchmark is expensive, use it on diagnostic runs.  Without
+    [perturb] the schedule is the canonical one — byte-identical across
+    runs of the same program; with it, the schedule is perturbed as
+    described at {!type-perturbation} (still deterministic per seed). *)
 
 (** The operations below may only be called from inside a processor (i.e.
     during {!run}); elsewhere they raise [Failure]. *)

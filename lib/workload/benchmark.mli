@@ -46,11 +46,14 @@ type measurement = {
 
 val run :
   ?config:Repro_sim.Memory_model.config ->
+  ?perturb:Repro_sim.Machine.perturbation ->
   Queue_adapter.impl ->
   workload ->
   measurement
-(** Deterministic: equal [config], [impl], [workload] (and therefore seed)
-    give byte-equal measurements.  [config] overrides the default memory
-    model — used by the model-sensitivity ablation. *)
+(** Deterministic: equal [config], [perturb], [impl], [workload] (and
+    therefore seed) give byte-equal measurements.  [config] overrides the
+    default memory model — used by the model-sensitivity ablation;
+    [perturb] switches the simulator into schedule-exploration mode (see
+    {!Repro_sim.Machine.perturbation}) — used by the history fuzzer. *)
 
 val pp_measurement : Format.formatter -> measurement -> unit

@@ -4,7 +4,14 @@ type instance = {
   stats : unit -> (string * float) list;
 }
 
-type impl = { name : string; dedups : bool; create : unit -> instance }
+type spec = Linearizable | Quiescent | Relaxed | Rank_bounded
+
+type impl = {
+  name : string;
+  dedups : bool;
+  spec : spec;
+  create : unit -> instance;
+}
 
 module Key = Repro_pqueue.Key.Int
 
@@ -35,6 +42,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "SkipQueue";
       dedups = true;
+      spec = Linearizable;
       create = (fun () -> skipqueue_instance ~mode:SQ.Strict ?p ?max_level ?seed ());
     }
 
@@ -47,6 +55,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "SkipQueue + reclamation";
       dedups = true;
+      spec = Linearizable;
       create =
         (fun () ->
           let recl = SQ.Reclaim.create () in
@@ -77,6 +86,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "Relaxed SkipQueue";
       dedups = true;
+      spec = Relaxed;
       create = (fun () -> skipqueue_instance ~mode:SQ.Relaxed ?p ?max_level ?seed ());
     }
 
@@ -84,6 +94,13 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "Heap";
       dedups = false;
+      (* Not linearizable: Hunt's delete-min carries the detached "last"
+         element in the deleting processor's hands — in no slot — before
+         re-inserting it at the root, so concurrent operations cannot see
+         it.  The schedule fuzzer exhibits histories with no Definition-1
+         serialization at all (bin/check --backend heap); at quiescence
+         every transit has landed, hence Quiescent. *)
+      spec = Quiescent;
       create =
         (fun () ->
           let h = Heap.create ?capacity () in
@@ -98,6 +115,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "FunnelList";
       dedups = false;
+      spec = Linearizable;
       create =
         (fun () ->
           let q = FL.create ?layer_widths ?collision_window () in
@@ -120,6 +138,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = Printf.sprintf "BinQueue(%d)" range;
       dedups = false;
+      spec = Linearizable;
       create =
         (fun () ->
           let q = Bins.create ~range () in
@@ -135,6 +154,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "MultiQueue";
       dedups = false;
+      spec = Rank_bounded;
       create =
         (fun () ->
           let q =
@@ -166,6 +186,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     {
       name = "SkipQueue + delete funnel";
       dedups = true;
+      spec = Linearizable;
       create =
         (fun () ->
           let q = SQ.create ~mode:SQ.Strict () in
@@ -258,4 +279,4 @@ let find backend name =
     invalid_arg
       (Printf.sprintf "Queue_adapter.find: unknown implementation %S (known: %s)"
          name
-         (String.concat ", " (names backend)))
+         (String.concat ", " (List.sort String.compare (names backend))))

@@ -20,6 +20,29 @@ type instance = {
           [Printf.sprintf "%s=%.0f"]; no prose parsing downstream) *)
 }
 
+(** The correctness contract an implementation claims — which checker
+    family {!Repro_check.Harness} (and any other history validator) holds
+    its executions to. *)
+type spec =
+  | Linearizable
+      (** Every Delete-min returns the minimum of the definitely-present
+          elements: the timestamped SkipQueue (Definition 1), the
+          FunnelList and the bin queue. *)
+  | Quiescent
+      (** Quiescently consistent only: operations separated by a quiescent
+          point take effect in order, concurrent ones may reorder freely.
+          The Hunt heap — its delete-min holds the detached replacement
+          element outside any slot, invisible to concurrent operations, so
+          strict (Definition 1) histories are not guaranteed; the schedule
+          fuzzer finds counterexamples. *)
+  | Relaxed
+      (** The paper's §5.4 contract: Delete-min returns [min (I - D)] or a
+          smaller element whose insert overlaps it (the Relaxed
+          SkipQueue). *)
+  | Rank_bounded
+      (** No per-operation ordering promise, only a statistical rank-error
+          envelope (the MultiQueue). *)
+
 type impl = {
   name : string;
   dedups : bool;
@@ -28,6 +51,7 @@ type impl = {
           funnel list, bin queue, MultiQueue).  The benchmark's rank-error
           oracle mirrors this so duplicate random priorities don't read as
           phantom reordering. *)
+  spec : spec;
   create : unit -> instance;
       (** must be called from inside the target runtime's execution context
           (e.g. within [Machine.run] for the simulator) *)
@@ -143,4 +167,4 @@ val names : backend -> string list
 val find : backend -> string -> impl
 (** Case- and space-insensitive lookup ("skipqueue", "Relaxed SkipQueue"
     and "relaxedskipqueue" all resolve).  Raises [Invalid_argument] with
-    the known names on a miss. *)
+    the known names, in sorted order, on a miss. *)

@@ -1,0 +1,262 @@
+(* Tests for lib/check: the checkers on hand-built histories (each check's
+   pass, fail, and skip paths), harness determinism and replayability, a
+   clean mini-sweep over real backends, and the torn-SWAP broken queue
+   being caught with a replayable seed. *)
+
+module Check = Repro_check.Checkers
+module Harness = Repro_check.Harness
+module History = Repro_check.History
+module Broken = Repro_check.Broken
+module QA = Repro_workload.Queue_adapter
+module O = Check.O
+
+let check = Alcotest.(check bool)
+
+(* --- history construction helpers --------------------------------------- *)
+
+let ins ?(proc = 0) ~at ?(dur = 1) key id =
+  { O.proc; op = O.Insert { key; id }; invoked = at; responded = at + dur }
+
+let del ?(proc = 0) ~at ?(dur = 1) result =
+  { O.proc; op = O.Delete_min { result }; invoked = at; responded = at + dur }
+
+let hist ?(dedups = false) ?(spec = QA.Linearizable) ?(drained = []) events =
+  { Check.impl = "test"; dedups; spec; seed = 0L; events; drained }
+
+let is_pass = function Check.Pass -> true | Check.Fail _ | Check.Skip _ -> false
+let is_fail = function Check.Fail _ -> true | Check.Pass | Check.Skip _ -> false
+let is_skip = function Check.Skip _ -> true | Check.Pass | Check.Fail _ -> false
+
+(* --- sequential replay --------------------------------------------------- *)
+
+let test_sequential_replay () =
+  let good =
+    hist
+      [
+        ins ~at:0 5 1;
+        ins ~at:2 3 2;
+        del ~at:4 (Some (3, 2));
+        del ~at:6 (Some (5, 1));
+        del ~at:8 None;
+      ]
+  in
+  check "in-order replay passes" true (is_pass (Check.sequential_replay good));
+  let wrong_min =
+    hist [ ins ~at:0 5 1; ins ~at:2 3 2; del ~at:4 (Some (5, 1)) ]
+  in
+  check "non-minimum fails" true (is_fail (Check.sequential_replay wrong_min));
+  let premature_empty = hist [ ins ~at:0 5 1; del ~at:2 None ] in
+  check "EMPTY with live element fails" true (is_fail (Check.sequential_replay premature_empty));
+  let concurrent = hist [ ins ~at:0 ~dur:10 5 1; del ~proc:1 ~at:4 (Some (5, 1)) ] in
+  check "overlapping ops skip" true (is_skip (Check.sequential_replay concurrent))
+
+let test_sequential_replay_dedup () =
+  (* update-in-place: the second insert of key 5 replaces id 1 with id 2 *)
+  let update = [ ins ~at:0 5 1; ins ~at:2 5 2 ] in
+  check "dedup returns the updating id" true
+    (is_pass (Check.sequential_replay (hist ~dedups:true (update @ [ del ~at:4 (Some (5, 2)) ]))));
+  check "dedup overwrote the first id" true
+    (is_fail (Check.sequential_replay (hist ~dedups:true (update @ [ del ~at:4 (Some (5, 1)) ]))));
+  check "without dedup both ids live" true
+    (is_pass (Check.sequential_replay (hist (update @ [ del ~at:4 (Some (5, 1)) ]))))
+
+(* --- quiescent consistency ----------------------------------------------- *)
+
+let test_quiescent () =
+  (* Key 2 fully inserted, a quiescent point, then a delete returns 9. *)
+  let bad =
+    hist
+      [ ins ~at:0 2 1; ins ~at:2 9 2; del ~proc:1 ~at:10 (Some (9, 2)) ]
+      ~drained:[ (2, 1) ]
+  in
+  check "skipping a settled smaller key fails" true (is_fail (Check.quiescent bad));
+  let good = hist [ ins ~at:0 2 1; del ~proc:1 ~at:10 (Some (2, 1)) ] in
+  check "taking the settled minimum passes" true (is_pass (Check.quiescent good));
+  (* Same busy period: insert of 1 overlaps the delete, reordering is
+     allowed, so returning 9 is quiescently fine. *)
+  let same_period =
+    hist [ ins ~at:0 9 1; ins ~proc:2 ~at:10 ~dur:10 1 2; del ~proc:1 ~at:12 ~dur:2 (Some (9, 1)) ]
+  in
+  check "reordering within one busy period passes" true (is_pass (Check.quiescent same_period))
+
+let test_quiescent_transit_tolerant () =
+  (* Two overlapping deletes: one may be transporting the missing element,
+     so the transit-tolerant variant exempts both; the strict variant
+     flags the larger return. *)
+  let h =
+    hist
+      [
+        ins ~at:0 2 1;
+        ins ~at:2 9 2;
+        del ~proc:1 ~at:10 ~dur:10 (Some (9, 2));
+        del ~proc:2 ~at:12 ~dur:10 None;
+      ]
+      ~drained:[ (2, 1) ]
+  in
+  check "strict quiescent flags it" true (is_fail (Check.quiescent h));
+  check "transit-tolerant exempts overlapped deletes" true
+    (is_pass (Check.quiescent ~transit_tolerant:true h));
+  (* A lone delete (no overlapping delete) gets no exemption. *)
+  let lone =
+    hist [ ins ~at:0 2 1; ins ~at:2 9 2; del ~proc:1 ~at:10 (Some (9, 2)) ] ~drained:[ (2, 1) ]
+  in
+  check "lone delete still checked" true
+    (is_fail (Check.quiescent ~transit_tolerant:true lone))
+
+(* --- conservation and drain order ---------------------------------------- *)
+
+let test_conservation () =
+  let events = [ ins ~at:0 5 1; ins ~at:2 1 2 ] in
+  check "balanced passes" true
+    (is_pass (Check.conservation (hist events ~drained:[ (1, 2); (5, 1) ])));
+  check "lost element fails" true
+    (is_fail (Check.conservation (hist events ~drained:[ (1, 2) ])));
+  (* rank-bounded backends drain shard minima, not sorted order *)
+  let unsorted = [ (5, 1); (1, 2) ] in
+  check "unsorted drain fails for linearizable" true
+    (is_fail (Check.conservation (hist events ~drained:unsorted)));
+  check "unsorted drain ok for rank-bounded" true
+    (is_pass (Check.conservation (hist ~spec:QA.Rank_bounded events ~drained:unsorted)))
+
+(* --- strict checks -------------------------------------------------------- *)
+
+let test_strict_conservative () =
+  let bad = hist [ ins ~at:0 1 1; ins ~at:2 9 2; del ~proc:1 ~at:10 (Some (9, 2)) ] in
+  check "returning 9 over settled 1 fails" true (is_fail (Check.strict_conservative bad));
+  check "relaxed also rejects it" true (is_fail (Check.relaxed_conservative bad));
+  (* d may return an element smaller than the settled minimum if its
+     insert overlaps — relaxed-legal, and strict-conservatively fine too *)
+  let concurrent_smaller =
+    hist
+      [ ins ~at:0 9 1; ins ~proc:2 ~at:10 ~dur:10 1 2; del ~proc:1 ~at:12 ~dur:2 (Some (1, 2)) ]
+  in
+  check "concurrent smaller insert ok" true (is_pass (Check.relaxed_conservative concurrent_smaller))
+
+let test_strict_exhaustive () =
+  (* Order-dependent but consistent: d2 (returning 1) serializes first. *)
+  let consistent =
+    [
+      ins ~at:0 1 1;
+      ins ~at:0 ~proc:3 2 2;
+      del ~proc:1 ~at:10 ~dur:10 (Some (2, 2));
+      del ~proc:2 ~at:11 ~dur:10 (Some (1, 1));
+    ]
+  in
+  check "overlapping deletes with a valid order pass" true
+    (is_pass (Check.strict_exhaustive_windowed (hist consistent)));
+  (* No order works: whichever delete goes first sees {1, 2}, so EMPTY is
+     wrong and so is taking 2 before 1. *)
+  let inconsistent =
+    [
+      ins ~at:0 1 1;
+      ins ~at:0 ~proc:3 2 2;
+      del ~proc:1 ~at:10 ~dur:10 (Some (2, 2));
+      del ~proc:2 ~at:11 ~dur:10 None;
+    ]
+  in
+  check "no Definition-1 serialization fails" true
+    (is_fail (Check.strict_exhaustive_windowed (hist inconsistent ~drained:[ (1, 1) ])));
+  (* windows wider than the bound are skipped *)
+  let wide =
+    List.init 4 (fun i -> ins ~at:i (i + 1) (i + 1))
+    @ List.init 4 (fun i -> del ~proc:(i + 1) ~at:20 ~dur:10 (Some (i + 1, i + 1)))
+  in
+  let bounds = { Check.default_bounds with Check.max_window = 2 } in
+  check "oversized window skips" true
+    (is_skip (Check.strict_exhaustive_windowed ~bounds (hist wide)))
+
+let test_rank_envelope () =
+  (* deletes in exactly reverse order: ranks 4,3,2,1,0 *)
+  let events =
+    List.init 5 (fun i -> ins ~at:i (i + 1) (i + 1))
+    @ List.init 5 (fun i -> del ~at:(10 + i) (Some (5 - i, 5 - i)))
+  in
+  let h = hist ~spec:QA.Rank_bounded events in
+  check "within envelope passes" true (is_pass (Check.rank_envelope h));
+  let tight = { Check.default_bounds with Check.max_rank = 3 } in
+  check "per-op ceiling fails" true (is_fail (Check.rank_envelope ~bounds:tight h));
+  let tight_mean = { Check.default_bounds with Check.mean_rank = 1.0 } in
+  check "mean ceiling fails" true (is_fail (Check.rank_envelope ~bounds:tight_mean h))
+
+let test_for_spec_suites () =
+  let names spec = List.map fst (Check.for_spec spec) in
+  check "linearizable runs the exhaustive search" true
+    (List.exists (fun n -> n = "strict (Def 1, exhaustive windows)") (names QA.Linearizable));
+  check "quiescent spec does not run strict checks" false
+    (List.exists
+       (fun n -> String.length n >= 6 && String.sub n 0 6 = "strict")
+       (names QA.Quiescent));
+  check "rank-bounded runs the envelope only" true
+    (List.mem "rank-envelope" (names QA.Rank_bounded)
+    && not (List.mem "quiescent" (names QA.Rank_bounded)))
+
+(* --- harness: determinism, replayability, clean backends ------------------ *)
+
+let small_profile =
+  { Harness.procs = 3; ops_per_proc = 12; prefill = 6; insert_ratio = 0.5; key_range = 64; jitter = 16 }
+
+let strip h = (h.Check.events, h.Check.drained)
+
+let test_harness_deterministic () =
+  let impl = QA.find QA.Sim "skipqueue" in
+  let a = Harness.run_one ~profile:small_profile impl 7L in
+  let b = Harness.run_one ~profile:small_profile impl 7L in
+  check "same seed, identical history" true (strip a = strip b);
+  let c = Harness.run_one ~profile:small_profile impl 8L in
+  check "different seed, different schedule" false (strip a = strip c)
+
+let test_harness_records () =
+  let impl = QA.find QA.Sim "heap" in
+  let h = Harness.run_one ~profile:small_profile impl 3L in
+  check "events recorded" true
+    (List.length h.Check.events = small_profile.Harness.prefill + (3 * 12));
+  check "spec carried over" true (h.Check.spec = QA.Quiescent);
+  check "well-formed" true (is_pass (Check.well_formed h));
+  check "conserved" true (is_pass (Check.conservation h))
+
+let test_mini_sweep_clean () =
+  let impls = List.map (QA.find QA.Sim) [ "skipqueue"; "relaxedskipqueue"; "heap"; "multiqueue" ] in
+  let summaries = Harness.sweep ~profile:small_profile impls (Harness.seeds ~start:1L ~count:4) in
+  List.iter
+    (fun (s : Harness.summary) ->
+      Alcotest.(check (list string))
+        (s.Harness.impl ^ " clean")
+        []
+        (List.map (fun v -> v.Harness.check ^ ": " ^ v.Harness.message) s.Harness.violations))
+    summaries
+
+let test_broken_queue_caught () =
+  let seeds = Harness.seeds ~start:1L ~count:3 in
+  let s = Harness.sweep_impl (Broken.skipqueue ()) seeds in
+  check "torn SWAP produces violations" true (s.Harness.violations <> []);
+  (* and the reported seed replays to a violation again *)
+  match s.Harness.violations with
+  | [] -> ()
+  | v :: _ ->
+    let s' = Harness.sweep_impl (Broken.skipqueue ()) [ v.Harness.seed ] in
+    check "violation replays from its seed" true
+      (List.exists (fun v' -> v'.Harness.seed = v.Harness.seed) s'.Harness.violations)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "checkers",
+        [
+          Alcotest.test_case "sequential replay" `Quick test_sequential_replay;
+          Alcotest.test_case "sequential replay, dedup" `Quick test_sequential_replay_dedup;
+          Alcotest.test_case "quiescent" `Quick test_quiescent;
+          Alcotest.test_case "quiescent, transit-tolerant" `Quick test_quiescent_transit_tolerant;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "strict conservative" `Quick test_strict_conservative;
+          Alcotest.test_case "strict exhaustive windows" `Quick test_strict_exhaustive;
+          Alcotest.test_case "rank envelope" `Quick test_rank_envelope;
+          Alcotest.test_case "per-spec suites" `Quick test_for_spec_suites;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_harness_deterministic;
+          Alcotest.test_case "records full histories" `Quick test_harness_records;
+          Alcotest.test_case "mini sweep clean" `Quick test_mini_sweep_clean;
+          Alcotest.test_case "broken queue caught" `Quick test_broken_queue_caught;
+        ] );
+    ]

@@ -188,6 +188,33 @@ let test_funnel_list_sequential () =
       check "eight" true (FL.delete_min q = Some (8, 80));
       check "empty" true (FL.delete_min q = None))
 
+(* qcheck: arbitrary op sequences against the sequential sorted list from
+   lib/pqueue (the very structure the FunnelList protects).  Keys compare
+   only; the remaining contents must agree as key multisets. *)
+module Model = Repro_pqueue.Sorted_list.Make (Repro_pqueue.Key.Int)
+
+let qcheck_funnel_list_matches_model =
+  let gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range (-1) 60)) in
+  QCheck.Test.make ~count:60 ~name:"funnel-list matches sequential model" gen (fun ops ->
+      in_sim (fun () ->
+          let q = FL.create () in
+          let m = Model.create () in
+          List.iteri
+            (fun i op ->
+              if op < 0 then begin
+                let got = Option.map fst (FL.delete_min q) in
+                let want = Option.map fst (Model.delete_min m) in
+                if got <> want then QCheck.Test.fail_reportf "delete-min mismatch at op %d" i
+              end
+              else begin
+                FL.insert q op i;
+                Model.insert m op i
+              end)
+            ops;
+          ok_or_fail (FL.check_invariants q);
+          let rec drain acc pop = match pop () with None -> List.rev acc | Some (k, _) -> drain (k :: acc) pop in
+          drain [] (fun () -> FL.delete_min q) = drain [] (fun () -> Model.delete_min m)))
+
 let test_funnel_list_duplicates () =
   in_sim (fun () ->
       let q = FL.create () in
@@ -395,6 +422,7 @@ let () =
         [
           Alcotest.test_case "sequential" `Quick test_funnel_list_sequential;
           Alcotest.test_case "duplicates" `Quick test_funnel_list_duplicates;
+          QCheck_alcotest.to_alcotest qcheck_funnel_list_matches_model;
           Alcotest.test_case "stress with oracle" `Quick test_funnel_list_stress;
         ] );
       ( "native",

@@ -89,6 +89,32 @@ let test_random_vs_model () =
       done;
       ok_or_fail (H_sim.check_invariants h))
 
+(* qcheck: arbitrary op sequences against the sequential d-ary heap from
+   lib/pqueue.  Keys compare only (under duplicate keys either id is a
+   correct answer); the final drains must agree as key multisets too. *)
+module Model = Repro_pqueue.Dary_heap.Make (Repro_pqueue.Key.Int)
+
+let qcheck_matches_model =
+  let gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range (-1) 60)) in
+  QCheck.Test.make ~count:60 ~name:"heap matches sequential model" gen (fun ops ->
+      in_sim (fun () ->
+          let h = H_sim.create ~capacity:512 () in
+          let m = Model.create () in
+          List.iteri
+            (fun i op ->
+              if op < 0 then begin
+                let got = Option.map fst (H_sim.delete_min h) in
+                let want = Option.map fst (Model.delete_min m) in
+                if got <> want then QCheck.Test.fail_reportf "delete-min mismatch at op %d" i
+              end
+              else begin
+                H_sim.insert h op i;
+                Model.insert m op i
+              end)
+            ops;
+          ok_or_fail (H_sim.check_invariants h);
+          List.map fst (H_sim.to_sorted_list h) = List.map fst (Model.to_sorted_list m)))
+
 (* --- simulated concurrency ---------------------------------------------- *)
 
 let stress_sim ~procs ~ops ~key_range ~seed () =
@@ -228,6 +254,7 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_duplicates;
           Alcotest.test_case "full" `Quick test_full;
           Alcotest.test_case "random vs model" `Quick test_random_vs_model;
+          QCheck_alcotest.to_alcotest qcheck_matches_model;
         ] );
       ( "simulated-concurrency",
         [

@@ -256,6 +256,46 @@ let test_determinism () =
   let a = run () and b = run () in
   check_bool "identical executions" true (a = b)
 
+(* The schedule-perturbation hooks (the history fuzzer's lever) must keep
+   every run a deterministic function of the seed, and must be completely
+   inert when disabled — same program, same seed, byte-identical trace and
+   stats. *)
+let test_perturb_determinism () =
+  let run ?perturb () =
+    let trace = Buffer.create 256 in
+    let report =
+      Machine.run ?perturb (fun () ->
+          let c = Sim_rt.shared 0 in
+          for p = 0 to 7 do
+            Machine.spawn (fun () ->
+                for _ = 0 to 9 do
+                  let v = Sim_rt.read c in
+                  Sim_rt.write c (v + 1);
+                  Buffer.add_string trace (Printf.sprintf "%d@%d;" p (Machine.probe_time ()));
+                  Machine.work ((p * 13) mod 17)
+                done)
+          done)
+    in
+    (Buffer.contents trace, report.Machine.end_time, report.Machine.accesses)
+  in
+  let base_a = run () and base_b = run () in
+  check_bool "disabled hooks stay byte-identical" true (base_a = base_b);
+  let p seed = Some { Machine.sched_seed = seed; jitter = 24 } in
+  let a = run ?perturb:(p 42L) () and b = run ?perturb:(p 42L) () in
+  check_bool "same seed replays exactly" true (a = b);
+  let c = run ?perturb:(p 43L) () in
+  check_bool "different seed, different schedule" false (a = c);
+  check_bool "perturbed differs from canonical" false (a = base_a);
+  (* jitter 0 randomizes only same-time tie-breaks; times stay exact *)
+  let t0 = run ?perturb:(Some { Machine.sched_seed = 1L; jitter = 0 }) () in
+  let t1 = run ?perturb:(Some { Machine.sched_seed = 1L; jitter = 0 }) () in
+  check_bool "zero jitter still deterministic" true (t0 = t1);
+  check_bool "negative jitter rejected" true
+    (try
+       ignore (Machine.run ~perturb:{ Machine.sched_seed = 1L; jitter = -1 } (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
 let test_stats_populated () =
   let report =
     Machine.run (fun () ->
@@ -453,6 +493,7 @@ let () =
           Alcotest.test_case "release by non-holder" `Quick test_release_by_non_holder_fails;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "perturbation determinism" `Quick test_perturb_determinism;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
           Alcotest.test_case "outside run fails" `Quick test_outside_run_fails;
           Alcotest.test_case "get_time reflects work" `Quick test_get_time_reflects_work;

@@ -193,6 +193,43 @@ let test_registry_lookup () =
   check "skipqueue dedups" true (QA.find QA.Sim "skipqueue").QA.dedups;
   check "multiqueue keeps duplicates" false (QA.find QA.Sim "multiqueue").QA.dedups
 
+(* The lookup-miss message must list every known name, sorted, so a user
+   can find the spelling they wanted without grepping the source. *)
+let test_registry_miss_message () =
+  match QA.find QA.Sim "nosuchqueue" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    let listed =
+      match String.index_opt msg '(' with
+      | None -> Alcotest.fail "miss message has no (known: ...) section"
+      | Some i ->
+        let section = String.sub msg (i + 1) (String.length msg - i - 2) in
+        let prefix = "known: " in
+        check "section is labelled" true
+          (String.length section > String.length prefix
+          && String.sub section 0 (String.length prefix) = prefix);
+        String.split_on_char ','
+          (String.sub section (String.length prefix)
+             (String.length section - String.length prefix))
+        |> List.map String.trim
+    in
+    Alcotest.(check (list string))
+      "every name, sorted" (List.sort String.compare (QA.names QA.Sim)) listed;
+    check "claimed sorted order" true (listed = List.sort String.compare listed)
+
+(* Every implementation declares the correctness contract the history
+   checkers hold it to. *)
+let test_registry_specs () =
+  let spec name = (QA.find QA.Sim name).QA.spec in
+  check "SkipQueue is Definition-1 strict" true (spec "skipqueue" = QA.Linearizable);
+  check "relaxed variant declares §5.4" true (spec "relaxedskipqueue" = QA.Relaxed);
+  check "heap is quiescent only" true (spec "heap" = QA.Quiescent);
+  check "multiqueue is rank-bounded" true (spec "multiqueue" = QA.Rank_bounded);
+  check "funnel list is strict" true (spec "funnellist" = QA.Linearizable);
+  check "ablations inherit the skipqueue contract" true
+    (spec "skipqueue + delete funnel" = QA.Linearizable
+    && spec "skipqueue + reclamation" = QA.Linearizable)
+
 let test_registry_instances_work () =
   (* Every sim registry entry must actually run a few operations. *)
   List.iter
@@ -368,6 +405,8 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "miss message sorted" `Quick test_registry_miss_message;
+          Alcotest.test_case "specs declared" `Quick test_registry_specs;
           Alcotest.test_case "every entry runs" `Quick test_registry_instances_work;
         ] );
       ( "figures",
