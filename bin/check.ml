@@ -6,11 +6,12 @@
      dune exec bin/check.exe -- --seeds 50
      dune exec bin/check.exe -- --backend skipqueue --seeds 200 --jitter 48
      dune exec bin/check.exe -- --replay 17 --backend heap
-     dune exec bin/check.exe -- --broken     # must FIND violations (exit 0 iff caught)
+     dune exec bin/check.exe -- --broken        # torn-SWAP mutant; exit 0 iff caught
+     dune exec bin/check.exe -- --broken elim   # lost-rendezvous elimination mutant
 
    Exit status: 0 all clean, 1 violations found, 2 usage error.  Under
-   --broken the meaning flips: 0 the torn-SWAP queue was caught, 1 it
-   slipped through. *)
+   --broken the meaning flips: 0 the chosen mutant (swap | elim | all,
+   default swap) was caught, 1 it slipped through. *)
 
 open Cmdliner
 module QA = Repro_workload.Queue_adapter
@@ -24,15 +25,21 @@ let pp_spec = function
   | QA.Rank_bounded -> "rank-bounded"
 
 let select_impls backends broken =
-  if broken then [ Repro_check.Broken.skipqueue () ]
-  else
+  match broken with
+  | Some "swap" -> [ Repro_check.Broken.skipqueue () ]
+  | Some "elim" -> [ Repro_check.Broken.elim_skipqueue () ]
+  | Some "all" -> [ Repro_check.Broken.skipqueue (); Repro_check.Broken.elim_skipqueue () ]
+  | Some other ->
+    Printf.eprintf "unknown mutant %S (known: swap, elim, all)\n" other;
+    Stdlib.exit 2
+  | None -> (
     match backends with
     | [] -> QA.all QA.Sim
     | names -> (
       try List.map (QA.find QA.Sim) names
       with Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
-        Stdlib.exit 2)
+        Stdlib.exit 2))
 
 let print_violation ~impl ~profile (v : Harness.violation) =
   Printf.printf "  VIOLATION seed=%Ld check=%s\n    %s\n" v.Harness.seed v.Harness.check
@@ -44,7 +51,17 @@ let print_violation ~impl ~profile (v : Harness.violation) =
        Printf.sprintf " --procs %d --ops %d --jitter %d" profile.Harness.procs
          profile.Harness.ops_per_proc profile.Harness.jitter)
 
-let run seeds start_seed backends procs ops jitter max_rank mean_rank broken replay quiet =
+let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mutant replay
+    quiet =
+  let broken =
+    if broken then Some (Option.value mutant ~default:"swap")
+    else
+      match mutant with
+      | None -> None
+      | Some m ->
+        Printf.eprintf "stray argument %S (did you mean --broken %s?)\n" m m;
+        Stdlib.exit 2
+  in
   let profile =
     {
       Harness.default_profile with
@@ -73,27 +90,32 @@ let run seeds start_seed backends procs ops jitter max_rank mean_rank broken rep
           | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
       List.iter (print_violation ~impl:s.Harness.impl ~profile) s.Harness.violations)
     summaries;
-  if broken then
+  match broken with
+  | Some mutant ->
     if !total_violations > 0 then begin
       if not quiet then
-        Printf.printf "\nbroken-queue validation: torn SWAP caught (%d violations) — fuzzer works\n"
-          !total_violations;
+        Printf.printf
+          "\nbroken-queue validation: %s mutant caught (%d violations) — fuzzer works\n"
+          mutant !total_violations;
       0
     end
     else begin
-      Printf.printf "\nbroken-queue validation FAILED: no violation found — fuzzer is blind\n";
+      Printf.printf
+        "\nbroken-queue validation FAILED: %s mutant produced no violation — fuzzer is blind\n"
+        mutant;
       1
     end
-  else if !total_violations > 0 then begin
-    Printf.printf "\n%d violation(s) — replay with the printed seeds\n" !total_violations;
-    1
-  end
-  else begin
-    if not quiet then
-      Printf.printf "\nall clean: %d backend(s) x %d seed(s)\n" (List.length impls)
-        (List.length seed_list);
-    0
-  end
+  | None ->
+    if !total_violations > 0 then begin
+      Printf.printf "\n%d violation(s) — replay with the printed seeds\n" !total_violations;
+      1
+    end
+    else begin
+      if not quiet then
+        Printf.printf "\nall clean: %d backend(s) x %d seed(s)\n" (List.length impls)
+          (List.length seed_list);
+      0
+    end
 
 let seeds =
   Arg.(
@@ -153,8 +175,17 @@ let broken =
     value & flag
     & info [ "broken" ]
         ~doc:
-          "Sweep the intentionally racy torn-SWAP SkipQueue instead; exit 0 \
-           only if the checkers catch it (fuzzer self-test).")
+          "Sweep an intentionally racy mutant instead; exit 0 only if the \
+           checkers catch it (fuzzer self-test).  Takes an optional \
+           positional mutant name: $(b,swap) (torn-SWAP SkipQueue, the \
+           default), $(b,elim) (lost-rendezvous elimination front end) or \
+           $(b,all).")
+
+let mutant =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"MUTANT" ~doc:"Mutant for $(b,--broken): swap, elim or all.")
 
 let replay =
   Arg.(
@@ -170,6 +201,6 @@ let cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ seeds $ start_seed $ backends $ procs $ ops $ jitter $ max_rank $ mean_rank
-      $ broken $ replay $ quiet)
+      $ broken $ mutant $ replay $ quiet)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

@@ -12,7 +12,14 @@ let run_native domains_top scale quiet =
   let module QA = Repro_workload.Queue_adapter in
   let impls =
     List.map (QA.find QA.Native)
-      [ "SkipQueue"; "Relaxed SkipQueue"; "Heap"; "FunnelList"; "MultiQueue" ]
+      [
+        "SkipQueue";
+        "Relaxed SkipQueue";
+        "SkipQueue-elim";
+        "Heap";
+        "FunnelList";
+        "MultiQueue";
+      ]
   in
   let rec domain_counts d = if d > domains_top then [] else d :: domain_counts (2 * d) in
   let workload =
@@ -74,6 +81,7 @@ let ids =
   let doc =
     "Experiments to run: fig2..fig8, multiqueue, ablation-funnel-front, \
      ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
+     ablation-bounded-range, ablation-memory-model, ablation-elimination, \
      'native' (real-domain sweep), or 'all' (every simulator experiment)."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)

@@ -56,3 +56,55 @@ let skipqueue () =
           stats = (fun () -> []);
         });
   }
+
+(* The elimination mutant: a runtime whose CAS is torn into a read, a
+   scheduler point, and a write.  The front end's rendezvous cell relies
+   on CAS for every transition out of [Pending]; torn, the classic
+   lost-rendezvous schedules appear — an inserter's match and the
+   waiter's withdrawal both read [Pending] and both "win", so the
+   inserter believes its element was handed over while the deleter has
+   already left for the structure (the binding evaporates); or two
+   inserters match one waiter and only one element survives.  The
+   conservation checker reports the lost element. *)
+module Torn_cas_runtime = struct
+  include Torn_swap_runtime
+
+  (* Restore the real (atomic) SWAP: this mutant tears only CAS, so every
+     violation it produces is elimination-specific. *)
+  let swap = Repro_sim.Sim_runtime.swap
+
+  let cas cell expected v =
+    let current = read cell in
+    if current == expected then begin
+      Repro_sim.Sim_runtime.write cell v;
+      true
+    end
+    else false
+end
+
+module Elim =
+  Repro_skipqueue.Elimination.Make (Torn_cas_runtime) (Repro_pqueue.Key.Int)
+
+let elim_name = "BrokenElimSkipQueue"
+
+(* A single always-active slot and a long, fast-polling window keep the
+   rendezvous rate high under the harness's small default profile, so the
+   torn-CAS races fire within a few seeds. *)
+let elim_skipqueue () =
+  {
+    Repro_workload.Queue_adapter.name = elim_name;
+    dedups = true;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        reads := 0;
+        let q =
+          Elim.create ~mode:Elim.SQ.Strict ~slots:1 ~width:1 ~window:64
+            ~max_window:64 ~poll_cycles:4 ~bound_every:1 ~adaptive:false ()
+        in
+        {
+          Repro_workload.Queue_adapter.insert = (fun k v -> ignore (Elim.insert q k v));
+          delete_min = (fun () -> Elim.delete_min q);
+          stats = (fun () -> []);
+        });
+  }

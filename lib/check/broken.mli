@@ -15,3 +15,14 @@ val name : string
 
 val skipqueue : unit -> Repro_workload.Queue_adapter.impl
 (** Simulator-only: [create] must run inside [Machine.run]. *)
+
+val elim_name : string
+
+val elim_skipqueue : unit -> Repro_workload.Queue_adapter.impl
+(** The elimination-specific mutant: an
+    {!Repro_skipqueue.Elimination}-fronted SkipQueue over a runtime whose
+    CAS is torn into read-then-write.  The front end's rendezvous
+    transitions all race through that CAS, so lost-rendezvous schedules
+    (an insert handed to a deleter that has already withdrawn, or two
+    inserts matched to one deleter) drop elements; the conservation
+    checker catches them ([bin/check --broken elim]).  Simulator-only. *)

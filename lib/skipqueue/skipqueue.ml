@@ -222,14 +222,19 @@ struct
     R.release node2.node_lock;
     retire t node2
 
-  let delete_min t =
-    enter t;
+  (* Fig. 11 lines 1-10, generalized from one victim to up-to-[want]: a
+     single bottom-level pass that races to claim the first [want]
+     unmarked, old-enough nodes.  With [want = 1] this is exactly the
+     paper's Delete-min hunt; larger batches share the walk over the
+     (possibly long) prefix of marked nodes, which is what the combining
+     front end in [Elimination] exploits.  Claims come back in list
+     (ascending-key) order. *)
+  let hunt t ~want =
     let time = match t.mode with Strict -> R.get_time () | Relaxed -> max_int in
-    (* Fig. 11 lines 1-10: race down the bottom level for the first
-       unmarked, old-enough node. *)
-    let found = ref None in
+    let claimed = ref [] in
+    let count = ref 0 in
     let node = ref (read_next t.head 1) in
-    let continue = ref true in
+    let continue = ref (want > 0) in
     while !continue do
       match read_key !node with
       | Top -> continue := false
@@ -243,8 +248,10 @@ struct
           t.hunt_steps <- t.hunt_steps + 1;
           let marked = R.swap !node.deleted true in
           if not marked then begin
-            found := Some !node;
-            continue := false
+            claimed := !node :: !claimed;
+            incr count;
+            if !count >= want then continue := false
+            else node := read_next !node 1
           end
           else begin
             t.swap_losses <- t.swap_losses + 1;
@@ -256,18 +263,44 @@ struct
           node := read_next !node 1
         end
     done;
+    List.rev !claimed
+
+  type 'v claim = { cnode : 'v node; ckey : K.t; cvalue : 'v }
+  type 'v batch = 'v claim list
+
+  let claim_of_node node =
+    let key =
+      match read_key node with
+      | Key k -> k
+      | Bottom | Top -> assert false (* sentinels are born marked *)
+    in
+    { cnode = node; ckey = key; cvalue = Option.get (R.read node.value) }
+
+  let hunt_batch t ~want =
+    enter t;
+    List.map claim_of_node (hunt t ~want)
+
+  let batch_claims batch = List.map (fun c -> (c.ckey, c.cvalue)) batch
+
+  let finish_batch t batch =
+    List.iter (fun c -> physically_remove t c.cnode (Key c.ckey)) batch;
+    exit t
+
+  let first_bound t =
+    match read_key (read_next t.head 1) with
+    | Top -> `Empty
+    | Key k -> `Min_at_most k
+    | Bottom -> assert false (* head is the only Bottom node *)
+
+  let delete_min t =
+    enter t;
     let result =
-      match !found with
-      | None -> None
-      | Some node2 ->
-        let value = R.read node2.value in
-        let key =
-          match read_key node2 with
-          | Key k -> k
-          | Bottom | Top -> assert false
-        in
-        physically_remove t node2 (Key key);
-        Some (key, Option.get value)
+      match hunt t ~want:1 with
+      | [] -> None
+      | node2 :: _ ->
+        let { ckey; cvalue; _ } = claim_of_node node2 in
+        physically_remove t node2 (Key ckey);
+        Some (ckey, cvalue)
     in
     exit t;
     result

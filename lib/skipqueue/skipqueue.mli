@@ -81,6 +81,39 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
       list a sublist of the level below; no marked node still linked; no
       poisoned (reclaimed) node reachable. *)
 
+  (** {2 Front-end hooks}
+
+      A narrow internal API for queue front ends ({!Elimination}): observe
+      a lower bound on the settled minimum, and claim several minima in
+      one shared bottom-level hunt.  These are the paper's Delete-min
+      split into its two halves (claim, then physical removal) and
+      generalized from one victim to a batch; [delete_min] above is
+      exactly [hunt_batch ~want:1] followed by [finish_batch]. *)
+
+  val first_bound : 'v t -> [ `Empty | `Min_at_most of K.t ]
+  (** Key of the first bottom-level node (marked or not) — a valid lower
+      bound on every element that was completely inserted and unclaimed at
+      the moment of the read: the bottom level is sorted, and any marked
+      node's claim serializes before it.  [`Empty] means the list held
+      nothing at all, not even in-flight claims.  Two shared reads. *)
+
+  type 'v batch
+  (** Claimed-but-not-yet-removed victims of one [hunt_batch]. *)
+
+  val hunt_batch : 'v t -> want:int -> 'v batch
+  (** One bottom-level pass (Fig. 11 lines 1-10) claiming up to [want]
+      unmarked, old-enough nodes; stops early at the tail.  In [Strict]
+      mode the eligibility timestamp is taken once, at the start of the
+      pass.  Enters the reclamation critical section: the caller {e must}
+      follow with [finish_batch], even on an empty batch. *)
+
+  val batch_claims : 'v batch -> (K.t * 'v) list
+  (** The claimed bindings, in claim (ascending-key) order. *)
+
+  val finish_batch : 'v t -> 'v batch -> unit
+  (** Physically remove every claimed node (Fig. 11 lines 15-37) and
+      leave the reclamation critical section. *)
+
   (** {2 Instrumentation} *)
 
   type op_stats = {

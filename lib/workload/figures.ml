@@ -668,6 +668,139 @@ let ablation_memory_model options =
       ];
   }
 
+(* A9: the elimination–combining front end (Calciu, Mendes & Herlihy, 25
+   years on from §5) grafted onto the SkipQueue.  Latency sweeps on the
+   fig7/fig8 workloads, plus a fully traced run at up to 64 processors
+   showing the head-of-list queueing drop: only combiners hunt the bottom
+   level, waiters spin on their private rendezvous cells. *)
+let ablation_elimination options =
+  let series_for impls ~initial ~ops ~insert_ratio =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      impls
+  in
+  let fig7_series =
+    series_for
+      [
+        Queue_adapter.Sim.skipqueue ();
+        Queue_adapter.Sim.elim_skipqueue ();
+        Queue_adapter.Sim.relaxed_skipqueue ();
+        Queue_adapter.Sim.relaxed_elim_skipqueue ();
+      ]
+      ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+  in
+  let fig8_series =
+    series_for
+      [ Queue_adapter.Sim.skipqueue (); Queue_adapter.Sim.elim_skipqueue () ]
+      ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  (* The acceptance point of the paper-trail: >= 64 processors on the
+     fig7 workload (clamped so tiny smoke-test sweeps stay in range). *)
+  let probe_procs = Int.min 64 top in
+  (* Full tracing is too costly for the whole sweep; rerun the fig7
+     workload once per structure at [probe_procs] with a Trace.Summary
+     sink and compare where the queued cycles land. *)
+  let probe impl =
+    options.progress
+      (Printf.sprintf "elimination head probe: %s @ %d procs"
+         impl.Queue_adapter.name probe_procs);
+    let summary = Repro_sim.Trace.Summary.create () in
+    let ops = scaled options 7_000 in
+    let (_ : Repro_sim.Machine.report) =
+      Repro_sim.Machine.run
+        ~tracer:(Repro_sim.Trace.Summary.sink summary)
+        (fun () ->
+          let q = impl.Queue_adapter.create () in
+          let rng = Repro_util.Rng.of_seed 99L in
+          for i = 0 to 999 do
+            q.Queue_adapter.insert (Repro_util.Rng.int rng (1 lsl 20)) (1_000_000 + i)
+          done;
+          for p = 0 to probe_procs - 1 do
+            let rng = Repro_util.Rng.of_seed (Int64.of_int (7_000 + p)) in
+            Repro_sim.Machine.spawn (fun () ->
+                for i = 0 to (ops / probe_procs) - 1 do
+                  Repro_sim.Machine.work 100;
+                  if Repro_util.Rng.bernoulli rng 0.5 then
+                    q.Queue_adapter.insert
+                      (Repro_util.Rng.int rng (1 lsl 20))
+                      ((p * 1_000_000) + i)
+                  else ignore (q.Queue_adapter.delete_min ())
+                done)
+          done)
+    in
+    summary
+  in
+  let hottest_queued summary =
+    match Repro_sim.Trace.Summary.hottest_locations summary ~n:1 with
+    | (_, _, queued) :: _ -> queued
+    | [] -> 0
+  in
+  let top8_queued summary =
+    List.fold_left
+      (fun acc (_, _, queued) -> acc + queued)
+      0
+      (Repro_sim.Trace.Summary.hottest_locations summary ~n:8)
+  in
+  let probe_line name summary =
+    Printf.sprintf "%-22s hottest line queued %9d cycles; top-8 lines %9d\n" name
+      (hottest_queued summary) (top8_queued summary)
+  in
+  let plain_probe = probe (Queue_adapter.Sim.skipqueue ()) in
+  let elim_probe = probe (Queue_adapter.Sim.elim_skipqueue ()) in
+  let front_counters =
+    stats_line (at fig7_series "SkipQueue-elim" top).Benchmark.queue_stats
+  in
+  let body =
+    "--- fig7 workload (1000 initial, 7000 ops, 50% inserts) ---\n"
+    ^ latency_tables ~series:fig7_series
+    ^ "\n--- fig8 workload (27000 initial, 60000 ops, 30% inserts) ---\n"
+    ^ latency_tables ~series:fig8_series
+    ^ Printf.sprintf
+        "\nHead-of-list contention probe (fig7 workload, %d procs, full tracing)\n"
+        probe_procs
+    ^ probe_line "SkipQueue" plain_probe
+    ^ probe_line "SkipQueue-elim" elim_probe
+    ^ Printf.sprintf "\nfront-end counters @%d procs (fig7): %s\n" top front_counters
+  in
+  let rendezvous_share =
+    let stats = (at fig7_series "SkipQueue-elim" top).Benchmark.queue_stats in
+    let get k = try List.assoc k stats with Not_found -> 0.0 in
+    let answered = get "eliminated" +. get "served" +. get "handoff_empties" in
+    let deletes = answered +. get "timeouts" +. get "collisions" in
+    if deletes = 0.0 then 0.0 else answered /. deletes
+  in
+  {
+    id = "ablation-elimination";
+    title = "elimination-combining front end vs plain SkipQueue (fig7/fig8 workloads)";
+    body;
+    data = series_data fig7_series @ series_data fig8_series;
+    indicators =
+      [
+        ratio_indicator fig7_series ~slow:"SkipQueue" ~fast:"SkipQueue-elim"
+          ~procs:probe_procs del
+          (Printf.sprintf "plain/elim deletion latency @%d, fig7 (want > 1)" probe_procs);
+        ratio_indicator fig7_series ~slow:"SkipQueue" ~fast:"SkipQueue-elim" ~procs:top
+          del
+          (Printf.sprintf "plain/elim deletion latency @%d, fig7" top);
+        ratio_indicator fig7_series ~slow:"Relaxed SkipQueue"
+          ~fast:"Relaxed SkipQueue-elim" ~procs:top del
+          (Printf.sprintf "relaxed plain/elim deletion latency @%d, fig7" top);
+        ratio_indicator fig8_series ~slow:"SkipQueue" ~fast:"SkipQueue-elim" ~procs:top
+          del
+          (Printf.sprintf "plain/elim deletion latency @%d, fig8" top);
+        ( Printf.sprintf "plain/elim hottest-line queued cycles @%d procs" probe_procs,
+          float_of_int (hottest_queued plain_probe)
+          /. float_of_int (Int.max 1 (hottest_queued elim_probe)) );
+        ( Printf.sprintf "rendezvous share of deletes @%d (eliminated+served)" top,
+          rendezvous_share );
+      ];
+  }
+
 let all =
   [
     ("fig2", fig2);
@@ -684,4 +817,5 @@ let all =
     ("ablation-reclamation", ablation_reclamation);
     ("ablation-bounded-range", ablation_bounded_range);
     ("ablation-memory-model", ablation_memory_model);
+    ("ablation-elimination", ablation_elimination);
   ]

@@ -90,5 +90,13 @@ val ablation_memory_model : options -> result
     phenomenon to a model ingredient — the validation a simulator-based
     reproduction owes its reader. *)
 
+val ablation_elimination : options -> result
+(** A9: the elimination–combining front end
+    ({!Repro_skipqueue.Elimination}, after Calciu, Mendes & Herlihy)
+    against the plain SkipQueue on the fig7/fig8 workloads — latency
+    sweeps for the strict and relaxed flavors, a fully traced run at up
+    to 64 processors comparing queued cycles on the hottest (head-of-
+    list) cache line, and the front end's rendezvous counters. *)
+
 val all : (string * (options -> result)) list
 (** Every runner, keyed by id, in presentation order. *)

@@ -17,6 +17,7 @@ module Key = Repro_pqueue.Key.Int
 
 module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module SQ = Repro_skipqueue.Skipqueue.Make (R) (Key)
+  module Elim = Repro_skipqueue.Elimination.Make (R) (Key)
   module Heap = Repro_heap.Hunt_heap.Make (R) (Key)
   module FL = Repro_funnel.Funnel_list.Make (R) (Key)
   module Funnel = Repro_funnel.Combining_funnel.Make (R)
@@ -88,6 +89,66 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       dedups = true;
       spec = Relaxed;
       create = (fun () -> skipqueue_instance ~mode:SQ.Relaxed ?p ?max_level ?seed ());
+    }
+
+  (* Elimination–combining front end over the same SkipQueue (Calciu,
+     Mendes & Herlihy): rendezvous in an adaptive array when the inserted
+     key is at most the observed minimum; timed-out deleters combine one
+     shared bottom-level hunt.  The front end preserves the backing
+     queue's contract (DESIGN.md §S15), so the strict flavor keeps
+     [Linearizable] and the relaxed one keeps [Relaxed]. *)
+  let elim_skipqueue_instance ~mode ?p ?max_level ?seed ?slots ?width ?window
+      ?poll_cycles ?serve_cap ?bound_every ?adaptive () =
+    let q =
+      Elim.create ~mode ?p ?max_level ?seed ?slots ?width ?window ?poll_cycles
+        ?serve_cap ?bound_every ?adaptive ()
+    in
+    {
+      insert = (fun k v -> ignore (Elim.insert q k v));
+      delete_min = (fun () -> Elim.delete_min q);
+      stats =
+        (fun () ->
+          let f = Elim.front_stats q in
+          let s = Elim.queue_stats q in
+          [
+            ("eliminated", float_of_int f.Elim.eliminated);
+            ("served", float_of_int f.Elim.served);
+            ("handoff_empties", float_of_int f.Elim.handoff_empties);
+            ("batches", float_of_int f.Elim.batches);
+            ("timeouts", float_of_int f.Elim.timeouts);
+            ("collisions", float_of_int f.Elim.collisions);
+            ("width", float_of_int f.Elim.width);
+            ("window", float_of_int f.Elim.window);
+            ("hunt_steps", float_of_int s.Elim.SQ.hunt_steps);
+            ("swap_losses", float_of_int s.Elim.SQ.swap_losses);
+            ("stale_skips", float_of_int s.Elim.SQ.stale_skips);
+          ]);
+    }
+
+  let elim_skipqueue ?p ?max_level ?seed ?slots ?width ?window ?poll_cycles
+      ?serve_cap ?bound_every ?adaptive () =
+    {
+      name = "SkipQueue-elim";
+      dedups = true;
+      spec = Linearizable;
+      create =
+        (fun () ->
+          elim_skipqueue_instance ~mode:Elim.SQ.Strict ?p ?max_level ?seed
+            ?slots ?width ?window ?poll_cycles ?serve_cap ?bound_every
+            ?adaptive ());
+    }
+
+  let relaxed_elim_skipqueue ?p ?max_level ?seed ?slots ?width ?window
+      ?poll_cycles ?serve_cap ?bound_every ?adaptive () =
+    {
+      name = "Relaxed SkipQueue-elim";
+      dedups = true;
+      spec = Relaxed;
+      create =
+        (fun () ->
+          elim_skipqueue_instance ~mode:Elim.SQ.Relaxed ?p ?max_level ?seed
+            ?slots ?width ?window ?poll_cycles ?serve_cap ?bound_every
+            ?adaptive ());
     }
 
   let hunt_heap ?capacity () =
@@ -247,6 +308,8 @@ let all = function
     [
       Sim.skipqueue ();
       Sim.relaxed_skipqueue ();
+      Sim.elim_skipqueue ();
+      Sim.relaxed_elim_skipqueue ();
       Sim.hunt_heap ();
       Sim.funnel_list ();
       Sim.multiqueue ~procs:registry_procs ();
@@ -258,6 +321,8 @@ let all = function
     [
       Native.skipqueue ();
       Native.relaxed_skipqueue ();
+      Native.elim_skipqueue ();
+      Native.relaxed_elim_skipqueue ();
       Native.hunt_heap ();
       Native.funnel_list ();
       Native.multiqueue ~procs:registry_procs ();

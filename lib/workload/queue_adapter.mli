@@ -63,6 +63,41 @@ module Over (R : Repro_runtime.Runtime_intf.S) : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
 
+  val elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
+  val relaxed_elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+  (** Strict / relaxed SkipQueue behind the
+      {!Repro_skipqueue.Elimination} front end: insert/delete-min pairs
+      rendezvous in an adaptive array when the inserted key is at most
+      the observed minimum, and timed-out deleters combine their
+      bottom-level hunts into one shared batch.  The front end preserves
+      the backing queue's contract (DESIGN.md §S15): the strict flavor
+      stays [Linearizable], the relaxed one [Relaxed]. *)
+
   val funneled_skipqueue : ?collision_window:int -> unit -> impl
   (** Ablation A1: a SkipQueue whose Delete-mins are regulated by a
       combining funnel instead of racing SWAPs down the bottom level — the
@@ -102,6 +137,35 @@ end
 module Sim : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+
+  val elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
+  val relaxed_elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
   val funneled_skipqueue : ?collision_window:int -> unit -> impl
 
   val skipqueue_with_reclamation :
@@ -132,6 +196,35 @@ end
 module Native : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
+
+  val elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
+  val relaxed_elim_skipqueue :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
   val hunt_heap : ?capacity:int -> unit -> impl
   val funnel_list : ?layer_widths:int list -> ?collision_window:int -> unit -> impl
   val bin_queue : range:int -> unit -> impl

@@ -215,7 +215,17 @@ let test_harness_records () =
   check "conserved" true (is_pass (Check.conservation h))
 
 let test_mini_sweep_clean () =
-  let impls = List.map (QA.find QA.Sim) [ "skipqueue"; "relaxedskipqueue"; "heap"; "multiqueue" ] in
+  let impls =
+    List.map (QA.find QA.Sim)
+      [
+        "skipqueue";
+        "relaxedskipqueue";
+        "skipqueue-elim";
+        "relaxedskipqueue-elim";
+        "heap";
+        "multiqueue";
+      ]
+  in
   let summaries = Harness.sweep ~profile:small_profile impls (Harness.seeds ~start:1L ~count:4) in
   List.iter
     (fun (s : Harness.summary) ->
@@ -234,6 +244,20 @@ let test_broken_queue_caught () =
   | [] -> ()
   | v :: _ ->
     let s' = Harness.sweep_impl (Broken.skipqueue ()) [ v.Harness.seed ] in
+    check "violation replays from its seed" true
+      (List.exists (fun v' -> v'.Harness.seed = v.Harness.seed) s'.Harness.violations)
+
+let test_broken_elim_caught () =
+  (* The torn-CAS mutant loses elimination rendezvous (withdraw-vs-match,
+     double-match, reserve-clobbers-Got races); the real SWAP is left
+     intact so any violation is specific to the front end's CAS protocol. *)
+  let seeds = Harness.seeds ~start:1L ~count:10 in
+  let s = Harness.sweep_impl (Broken.elim_skipqueue ()) seeds in
+  check "torn CAS produces violations" true (s.Harness.violations <> []);
+  match s.Harness.violations with
+  | [] -> ()
+  | v :: _ ->
+    let s' = Harness.sweep_impl (Broken.elim_skipqueue ()) [ v.Harness.seed ] in
     check "violation replays from its seed" true
       (List.exists (fun v' -> v'.Harness.seed = v.Harness.seed) s'.Harness.violations)
 
@@ -258,5 +282,6 @@ let () =
           Alcotest.test_case "records full histories" `Quick test_harness_records;
           Alcotest.test_case "mini sweep clean" `Quick test_mini_sweep_clean;
           Alcotest.test_case "broken queue caught" `Quick test_broken_queue_caught;
+          Alcotest.test_case "broken elimination caught" `Quick test_broken_elim_caught;
         ] );
     ]

@@ -141,6 +141,86 @@ let test_empty_is_definitive_and_queue_reusable () =
     check "the two empty deletes fell back to full sweeps" true (s.MQ.full_sweeps >= 2);
     check_int "no lock failures single-threaded" 0 s.MQ.lock_failures
 
+(* --- qcheck properties --------------------------------------------------- *)
+
+(* choice = shards with stickiness 1 compares every cached top, so any
+   random single-processor op sequence must match a duplicate-keeping heap
+   model key-for-key (values of tied keys may associate differently). *)
+let qcheck_exact_config_matches_model =
+  let module Model = Repro_pqueue.Dary_heap.Make (Repro_pqueue.Key.Int) in
+  let gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range (-1) 60)) in
+  QCheck.Test.make ~count:60 ~name:"choice = shards matches heap model" gen
+    (fun ops ->
+      let ok = ref false in
+      let (_ : Machine.report) =
+        Machine.run (fun () ->
+            let q =
+              MQ.create ~procs:1 ~shards:4 ~choice:4 ~stickiness:1 ~seed:9L ()
+            in
+            let m = Model.create () in
+            List.iteri
+              (fun i op ->
+                if op < 0 then begin
+                  let got = Option.map fst (MQ.delete_min q) in
+                  let want = Option.map fst (Model.delete_min m) in
+                  if got <> want then
+                    QCheck.Test.fail_reportf "delete-min key mismatch at op %d" i
+                end
+                else begin
+                  MQ.insert q op i;
+                  Model.insert m op i
+                end)
+              ops;
+            let rec drain pop acc =
+              match pop () with None -> List.rev acc | Some (k, _) -> drain pop (k :: acc)
+            in
+            ok :=
+              drain (fun () -> MQ.delete_min q) []
+              = drain (fun () -> Model.delete_min m) [])
+      in
+      !ok)
+
+(* Any random key batch drained under the 2-choice configuration must be
+   conserved exactly (every key back exactly once), and — once there are
+   enough pops for the mean to be meaningful — the mean rank error must
+   stay inside the O(shards) envelope the unit test above pins for one
+   fixed seed. *)
+let qcheck_rank_envelope =
+  let gen = QCheck.(list_of_size Gen.(int_range 0 300) (int_bound 1_000_000)) in
+  QCheck.Test.make ~count:40 ~name:"2-choice conservation and rank envelope" gen
+    (fun keys ->
+      let ok = ref false in
+      let (_ : Machine.report) =
+        Machine.run (fun () ->
+            let q = MQ.create ~procs:1 ~shards:8 ~choice:2 ~seed:3L () in
+            List.iteri (fun i k -> MQ.insert q k i) keys;
+            let live = ref keys in
+            let rec remove_one k = function
+              | [] -> QCheck.Test.fail_reportf "popped key %d was not live" k
+              | x :: tl -> if x = k then tl else x :: remove_one k tl
+            in
+            let popped = ref 0 and rank_sum = ref 0 in
+            let rec drain () =
+              match MQ.delete_min q with
+              | None -> ()
+              | Some (k, _) ->
+                incr popped;
+                rank_sum :=
+                  !rank_sum + List.length (List.filter (fun x -> x < k) !live);
+                live := remove_one k !live;
+                drain ()
+            in
+            drain ();
+            if !live <> [] then
+              QCheck.Test.fail_reportf "%d keys never drained" (List.length !live);
+            let mean_ok =
+              !popped < 30
+              || float_of_int !rank_sum /. float_of_int !popped < 40.0
+            in
+            ok := !popped = List.length keys && mean_ok)
+      in
+      !ok)
+
 let test_shard_sizing () =
   let s_default = ref 0 and s_explicit = ref 0 and rejected = ref false in
   let (_ : Machine.report) =
@@ -169,5 +249,7 @@ let () =
           Alcotest.test_case "emptiness definitive, queue reusable" `Quick
             test_empty_is_definitive_and_queue_reusable;
           Alcotest.test_case "shard sizing" `Quick test_shard_sizing;
+          QCheck_alcotest.to_alcotest qcheck_exact_config_matches_model;
+          QCheck_alcotest.to_alcotest qcheck_rank_envelope;
         ] );
     ]

@@ -296,6 +296,49 @@ let test_perturb_determinism () =
        false
      with Invalid_argument _ -> true)
 
+(* Lock-wait accounting, pinned against a hand-computed two-processor
+   schedule under the flat [sequential] memory model (every access 1
+   cycle, handoff 1 cycle):
+
+     root   spawns P1 (clock 0, root -> 1), spawns P2 (clock 1, root -> 2)
+     P1     Acquire: swap on the lock word finishes @1 -> holds the lock
+            work 100 -> clock 101
+            Release: write finishes @102
+     P2     Acquire: swap finishes @2 -> held, parks @2
+            woken at max(102, 2) + 1 = 103, so it waited 103 - 2 = 101
+            Release: write finishes @104
+
+   Any change to how Parked/Woken cycles are charged shows up here as an
+   exact-number failure, not a drift. *)
+let test_lock_wait_accounting_pinned () =
+  let summary = Repro_sim.Trace.Summary.create () in
+  let report =
+    Machine.run ~config:Memory_model.sequential
+      ~tracer:(Repro_sim.Trace.Summary.sink summary)
+      (fun () ->
+        let lock = Machine.lock_create ~name:"pinned" () in
+        Machine.spawn (fun () ->
+            Machine.lock_acquire lock;
+            Machine.work 100;
+            Machine.lock_release lock);
+        Machine.spawn (fun () ->
+            Machine.lock_acquire lock;
+            Machine.lock_release lock))
+  in
+  check_int "end time" 104 report.Machine.end_time;
+  check_int "acquisitions" 2 report.Machine.lock_acquisitions;
+  check_int "contentions" 1 report.Machine.lock_contentions;
+  check_int "waited cycles" 101 report.Machine.lock_wait_cycles;
+  match Repro_sim.Trace.Summary.lock_profile summary with
+  | [ (name, acqs, parkings, waited) ] ->
+    Alcotest.(check string) "profiled lock name" "pinned" name;
+    check_int "profiled acquisitions" 2 acqs;
+    check_int "profiled parkings" 1 parkings;
+    check_int "profiled waited cycles" 101 waited
+  | profile ->
+    Alcotest.failf "expected exactly one profiled lock, got %d"
+      (List.length profile)
+
 let test_stats_populated () =
   let report =
     Machine.run (fun () ->
@@ -494,6 +537,8 @@ let () =
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "perturbation determinism" `Quick test_perturb_determinism;
+          Alcotest.test_case "lock-wait accounting pinned" `Quick
+            test_lock_wait_accounting_pinned;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
           Alcotest.test_case "outside run fails" `Quick test_outside_run_fails;
           Alcotest.test_case "get_time reflects work" `Quick test_get_time_reflects_work;

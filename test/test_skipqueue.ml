@@ -384,6 +384,52 @@ let test_reclamation_safety () =
     check_int "everything retired got reclaimed" 40 s.SQ_sim.Reclaim.reclaimed;
     check_int "nothing pending" 0 s.SQ_sim.Reclaim.pending
 
+(* --- qcheck model ------------------------------------------------------- *)
+
+(* Random op sequences against a replace-on-duplicate map model.  The
+   SkipQueue overwrites the value of a key already present (`Updated`),
+   so a duplicate-keeping heap is the wrong oracle — a Map is the right
+   one.  Single-processor runs must agree exactly in both modes: the
+   strict/relaxed distinction only exists under concurrency. *)
+let qcheck_matches_map_model mode mode_name =
+  let module M = Map.Make (Int) in
+  let gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range (-1) 60)) in
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "%s SkipQueue matches map model" mode_name) gen
+    (fun ops ->
+      let ok = ref false in
+      let (_ : Machine.report) =
+        Machine.run (fun () ->
+            let q = SQ_sim.create ~mode () in
+            let model = ref M.empty in
+            List.iteri
+              (fun i op ->
+                if op < 0 then begin
+                  let want =
+                    match M.min_binding_opt !model with
+                    | None -> None
+                    | Some (k, v) ->
+                      model := M.remove k !model;
+                      Some (k, v)
+                  in
+                  if SQ_sim.delete_min q <> want then
+                    QCheck.Test.fail_reportf "delete-min mismatch at op %d" i
+                end
+                else begin
+                  let want = if M.mem op !model then `Updated else `Inserted in
+                  if SQ_sim.insert q op i <> want then
+                    QCheck.Test.fail_reportf "insert status mismatch at op %d" i;
+                  model := M.add op i !model
+                end)
+              ops;
+            ok_or_fail (SQ_sim.check_invariants q);
+            ok := SQ_sim.to_list q = M.bindings !model)
+      in
+      !ok)
+
+let qcheck_strict_matches_model = qcheck_matches_map_model SQ_sim.Strict "strict"
+let qcheck_relaxed_matches_model = qcheck_matches_map_model SQ_sim.Relaxed "relaxed"
+
 (* --- native domains ----------------------------------------------------- *)
 
 let test_native_sequential () =
@@ -444,6 +490,8 @@ let () =
           Alcotest.test_case "update in place" `Quick test_update_in_place;
           Alcotest.test_case "find and delete" `Quick test_find_and_delete;
           Alcotest.test_case "1000 ops vs model" `Quick test_many_sequential_ops_invariants;
+          QCheck_alcotest.to_alcotest qcheck_strict_matches_model;
+          QCheck_alcotest.to_alcotest qcheck_relaxed_matches_model;
         ] );
       ( "simulated-concurrency",
         [
