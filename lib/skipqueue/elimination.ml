@@ -2,14 +2,16 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) =
 struct
   module SQ = Skipqueue.Make (R) (K)
 
-  (* Published by a deleter: no insert larger than [bound] may eliminate
-     with it.  The bound is the key of the first bottom-level node at
-     observation time — a lower bound on every settled element — or
-     [Unbounded] when the list was completely empty.  [Closed] refuses
-     insert-elimination outright (only a combiner may answer): it lets a
-     deleter publish without reading the contended head line at all, and
-     is trivially sound.  Deleters observe a real bound only every
-     [bound_every]-th publish. *)
+  (* Published by a deleter: only an insert whose key is strictly below
+     [bound] may eliminate with it — and even then only after justifying
+     the rendezvous with a fresh bound of its own (see [insert]).  The
+     bound is the key of the first bottom-level node at observation time —
+     a lower bound on every settled element — or [Unbounded] when the
+     list was completely empty.  [Closed] refuses insert-elimination
+     outright (only a combiner may answer): it lets a deleter publish
+     without reading the contended head line at all, and is trivially
+     sound.  Deleters observe a real bound only every [bound_every]-th
+     publish. *)
   type bound = Unbounded | At_most of K.t | Closed
 
   (* The per-waiter rendezvous cell.  Every transition out of [Pending]
@@ -27,6 +29,7 @@ struct
 
   type front_stats = {
     eliminated : int;
+    fresh_refusals : int;
     served : int;
     handoff_empties : int;
     batches : int;
@@ -63,6 +66,7 @@ struct
     mutable width_now : int;
     mutable window_now : int;
     mutable stat_eliminated : int;
+    mutable stat_fresh_refusals : int;
     mutable stat_served : int;
     mutable stat_handoff_empties : int;
     mutable stat_batches : int;
@@ -99,6 +103,7 @@ struct
       width_now = width;
       window_now = window;
       stat_eliminated = 0;
+      stat_fresh_refusals = 0;
       stat_served = 0;
       stat_handoff_empties = 0;
       stat_batches = 0;
@@ -162,6 +167,11 @@ struct
       t.window_now <- l.lwindow
     end
 
+  let fresh_bound t =
+    match SQ.first_bound t.q with
+    | `Empty -> Unbounded
+    | `Min_at_most k -> At_most k
+
   (* Reading the first bottom-level node touches the hottest line in the
      whole structure, and on workloads with wide key ranges the resulting
      insert-eliminations are rare — so most publishes carry [Closed]
@@ -169,14 +179,20 @@ struct
      bound. *)
   let observe_bound t rng =
     if t.bound_every > 1 && Repro_util.Rng.int rng t.bound_every <> 0 then Closed
-    else
-      match SQ.first_bound t.q with
-      | `Empty -> Unbounded
-      | `Min_at_most k -> At_most k
+    else fresh_bound t
 
+  (* Strictly below the bound, never equal: the bound is the key of a node
+     settled in the structure, and the queue dedups (inserting a present
+     key updates that node in place) — so an insert of exactly the bound
+     key must reach the structure.  Rendezvousing it instead would hand
+     the key to the deleter while the settled node still carries it, and
+     the two resulting delete_mins of one instance fit no sequential
+     dedup history.  Strictness is also what keeps the rendezvous's
+     [`Inserted] honest: a key strictly below every settled element
+     cannot be present. *)
   let key_within key = function
     | Unbounded -> true
-    | At_most b -> K.compare key b <= 0
+    | At_most b -> K.compare key b < 0
     | Closed -> false
 
   (* --- the direct (combining) path ------------------------------------ *)
@@ -301,11 +317,30 @@ struct
       poll 0
     end
 
+  (* A published bound can go stale while its deleter waits: an element
+     smaller than the bound may settle after publication, and an insert
+     invoked after that settle must not rendezvous above it — the
+     deleter would answer with a non-minimum, and the real-time order
+     (small insert completed before this insert began, which began before
+     the delete responded) admits no serialization.  So the inserter
+     justifies the rendezvous with an observation of its own: the key
+     must lie strictly below the published bound {e and} below a bound
+     read here, inside the insert.  The matched pair then linearizes at
+     this fresh read — an instant inside both operations' windows (the
+     slot was seen occupied before the read, and the CAS finding
+     [Pending] proves the deleter was still waiting after it) at which
+     the key is smaller than every settled element.  The extra head-line
+     read is paid only when the published bound already admits the key,
+     i.e. only on actual rendezvous attempts. *)
   let insert t key value =
     let width = (local_for t).lwidth in
     match R.read t.slots.(Repro_util.Rng.int (rng_for t) width) with
     | Waiting w when key_within key w.bound ->
-      if R.cas w.answer Pending (Got (Some (key, value))) then begin
+      if not (key_within key (fresh_bound t)) then begin
+        t.stat_fresh_refusals <- t.stat_fresh_refusals + 1;
+        SQ.insert t.q key value
+      end
+      else if R.cas w.answer Pending (Got (Some (key, value))) then begin
         t.stat_eliminated <- t.stat_eliminated + 1;
         `Inserted
       end
@@ -331,6 +366,7 @@ struct
   let front_stats t =
     {
       eliminated = t.stat_eliminated;
+      fresh_refusals = t.stat_fresh_refusals;
       served = t.stat_served;
       handoff_empties = t.stat_handoff_empties;
       batches = t.stat_batches;

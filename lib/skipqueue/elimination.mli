@@ -13,8 +13,14 @@
       random slot of the elimination array, and polls it for a bounded
       window.
     - An [insert] peeks at one random slot; if a deleter is waiting there
-      and the inserted key is ≤ its published bound, it hands the binding
-      over with a single CAS and returns without touching the skiplist.
+      and the inserted key is strictly below its published bound {e and}
+      strictly below a fresh bound the inserter reads itself, it hands
+      the binding over with a single CAS and returns without touching
+      the skiplist.  Strictness is forced by dedup semantics (the bound
+      is the key of a settled node, and inserting a present key must
+      update it in place, not hand a second copy to a deleter); the
+      fresh read guards against a published bound going stale (an
+      element smaller than the bound settling while the deleter waits).
     - A deleter that times out (or that finds its chosen slot taken)
       withdraws and goes to the structure directly — but first it {e
       combines}: it reserves every waiter it can see (CAS [Pending ->
@@ -48,9 +54,12 @@
 
     Correctness classification (DESIGN.md §S15): the front end preserves
     the underlying queue's contract — [Strict] stays Definition-1
-    linearizable, [Relaxed] stays §5.4-relaxed — because an eliminated or
-    combined answer is always ≤ every element settled before the deleter's
-    invocation, and the handed-over insert overlaps the delete. *)
+    linearizable, [Relaxed] stays §5.4-relaxed.  An eliminated pair
+    linearizes back-to-back at the inserter's fresh bound read, an
+    instant inside both operations' windows at which the exchanged key
+    is strictly smaller than every settled element; a combined answer is
+    justified by a hunt that starts after every served waiter's
+    invocation. *)
 
 module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : sig
   module SQ : module type of Skipqueue.Make (R) (K)
@@ -91,9 +100,11 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
         fixed at their initial values. *)
 
   val insert : 'v t -> K.t -> 'v -> [ `Inserted | `Updated ]
-  (** One slot peeked; on a bound-respecting rendezvous the binding is
-      handed to the waiting deleter and the call returns [`Inserted]
-      without touching the skiplist.  Otherwise {!SQ.insert}. *)
+  (** One slot peeked; on a bound-respecting rendezvous (key strictly
+      below both the published bound and a freshly observed one) the
+      binding is handed to the waiting deleter and the call returns
+      [`Inserted] — correct, since a key strictly below every settled
+      element cannot be present.  Otherwise {!SQ.insert}. *)
 
   val delete_min : 'v t -> (K.t * 'v) option
   (** Publish-poll-withdraw as described above; the direct path combines.
@@ -113,6 +124,10 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
 
   type front_stats = {
     eliminated : int;  (** insert/delete rendezvous (structure untouched) *)
+    fresh_refusals : int;
+        (** rendezvous attempts admitted by the published bound but
+            refused by the inserter's own fresh bound read (stale or
+            equal-key matches) *)
     served : int;  (** deletes answered out of a combiner's batch *)
     handoff_empties : int;  (** waiters handed the batch's EMPTY *)
     batches : int;  (** combined hunts that served at least one waiter *)

@@ -287,10 +287,19 @@ struct
     exit t
 
   let first_bound t =
-    match read_key (read_next t.head 1) with
-    | Top -> `Empty
-    | Key k -> `Min_at_most k
-    | Bottom -> assert false (* head is the only Bottom node *)
+    (* The first node can be retired by a concurrent physical removal, so
+       even this two-read peek must hold the reclamation critical section:
+       outside it, a collector pass may reclaim the node between the
+       [next] read and the [key] read. *)
+    enter t;
+    let result =
+      match read_key (read_next t.head 1) with
+      | Top -> `Empty
+      | Key k -> `Min_at_most k
+      | Bottom -> assert false (* head is the only Bottom node *)
+    in
+    exit t;
+    result
 
   let delete_min t =
     enter t;

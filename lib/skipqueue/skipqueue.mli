@@ -95,7 +95,9 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
       bound on every element that was completely inserted and unclaimed at
       the moment of the read: the bottom level is sorted, and any marked
       node's claim serializes before it.  [`Empty] means the list held
-      nothing at all, not even in-flight claims.  Two shared reads. *)
+      nothing at all, not even in-flight claims.  Two shared reads, made
+      inside the reclamation critical section (the first node may be
+      retired concurrently). *)
 
   type 'v batch
   (** Claimed-but-not-yet-removed victims of one [hunt_batch]. *)

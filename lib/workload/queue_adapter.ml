@@ -93,10 +93,11 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
 
   (* Elimination–combining front end over the same SkipQueue (Calciu,
      Mendes & Herlihy): rendezvous in an adaptive array when the inserted
-     key is at most the observed minimum; timed-out deleters combine one
-     shared bottom-level hunt.  The front end preserves the backing
-     queue's contract (DESIGN.md §S15), so the strict flavor keeps
-     [Linearizable] and the relaxed one keeps [Relaxed]. *)
+     key is strictly below both the deleter's published bound and the
+     inserter's own fresh observation of the minimum; timed-out deleters
+     combine one shared bottom-level hunt.  The front end preserves the
+     backing queue's contract (DESIGN.md §S15), so the strict flavor
+     keeps [Linearizable] and the relaxed one keeps [Relaxed]. *)
   let elim_skipqueue_instance ~mode ?p ?max_level ?seed ?slots ?width ?window
       ?poll_cycles ?serve_cap ?bound_every ?adaptive () =
     let q =
@@ -112,6 +113,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
           let s = Elim.queue_stats q in
           [
             ("eliminated", float_of_int f.Elim.eliminated);
+            ("fresh_refusals", float_of_int f.Elim.fresh_refusals);
             ("served", float_of_int f.Elim.served);
             ("handoff_empties", float_of_int f.Elim.handoff_empties);
             ("batches", float_of_int f.Elim.batches);

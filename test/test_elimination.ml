@@ -69,6 +69,78 @@ let test_insert_eliminates_with_waiting_deleter () =
     check_int "one elimination" 1 s.E.eliminated;
     check_int "no timeout" 0 s.E.timeouts
 
+(* The queue dedups: an insert whose key equals the published bound — the
+   key of a node settled in the structure — must update that node in
+   place, not rendezvous.  Eliminating it would hand the key to the
+   deleter while the settled node still carries it, so the one logical
+   instance would be delivered twice.  The elimination bound is therefore
+   strict. *)
+let test_duplicate_key_updates_instead_of_eliminating () =
+  let ins = ref `Inserted and got = ref None and final = ref [] and stats = ref None in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q =
+          E.create ~slots:1 ~width:1 ~window:64 ~max_window:64 ~poll_cycles:16
+            ~bound_every:1 ~adaptive:false ()
+        in
+        ignore (E.insert q 10 100);
+        Machine.spawn (fun () -> got := E.delete_min q);
+        Machine.spawn (fun () ->
+            Machine.work 200;
+            ins := E.insert q 10 999);
+        Machine.spawn (fun () ->
+            Machine.work 1_000_000;
+            final := E.to_list q;
+            stats := Some (E.front_stats q)))
+  in
+  check "insert of the settled minimum updates in place" true (!ins = `Updated);
+  check "the one instance is delivered exactly once" true
+    (match !got with Some (10, _) -> true | _ -> false);
+  check "nothing left behind" true (!final = []);
+  match !stats with
+  | None -> Alcotest.fail "no stats captured"
+  | Some s -> check_int "no elimination" 0 s.E.eliminated
+
+(* A published bound goes stale the moment a smaller element settles: with
+   {10} settled, a deleter publishes At_most 10; insert(2) then completes
+   into the skiplist (seed 0 makes it peek an empty slot and go direct);
+   insert(7), invoked strictly after that, peeks the waiter — it is below
+   the published bound, but the rendezvous would make the delete return 7
+   while 2 is live, with no serialization consistent with real-time order.
+   The inserter's own fresh bound read is what refuses it. *)
+let test_stale_bound_does_not_eliminate () =
+  let got = ref None and final = ref [] and stats = ref None in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q =
+          E.create ~slots:4 ~width:4 ~window:64 ~max_window:64 ~poll_cycles:128
+            ~bound_every:1 ~adaptive:false ~seed:0L ()
+        in
+        ignore (E.insert q 10 100);
+        Machine.spawn (fun () -> got := E.delete_min q);
+        Machine.spawn (fun () ->
+            Machine.work 200;
+            ignore (E.insert q 2 22));
+        Machine.spawn (fun () ->
+            Machine.work 4_000;
+            ignore (E.insert q 7 77));
+        Machine.spawn (fun () ->
+            Machine.work 1_000_000;
+            final := List.map fst (E.to_list q);
+            stats := Some (E.front_stats q)))
+  in
+  check "deleter received the settled minimum, not the stale rendezvous" true
+    (!got = Some (2, 22));
+  check "both later inserts settled" true (!final = [ 7; 10 ]);
+  match !stats with
+  | None -> Alcotest.fail "no stats captured"
+  | Some s ->
+    check_int "no elimination" 0 s.E.eliminated;
+    (* insert(7) reached the waiter and was turned away by its own read;
+       if this fails the schedule no longer exercises the stale path —
+       re-probe the seed rather than weakening the assertion *)
+    check_int "one fresh-bound refusal" 1 s.E.fresh_refusals
+
 (* --- the combining path --------------------------------------------------- *)
 
 (* One slot forces the second deleter to collide and combine: it must
@@ -194,6 +266,61 @@ let conservation_sim ~mode ~seed () =
 let test_conservation_strict () = conservation_sim ~mode:E.SQ.Strict ~seed:21L ()
 let test_conservation_relaxed () = conservation_sim ~mode:E.SQ.Relaxed ~seed:22L ()
 
+(* Duplicate-heavy randomized runs: with a handful of raw keys the dedup
+   update path and the rendezvous path collide constantly.  Instance
+   accounting must balance per key: every insert that returned
+   [`Inserted] created exactly one instance, and every instance is
+   consumed by exactly one delivered delete or survives to the quiescent
+   remainder.  Neither the fuzz sweep nor the conservation tests above
+   can reach this path — they keep every inserted key globally unique
+   because the queue dedups. *)
+let duplicate_key_conservation ~mode ~seed () =
+  let procs = 8 and ops = 120 and range = 10 in
+  let created = Array.make procs [] in
+  let deleted = Array.make procs [] in
+  let leftover = ref [] in
+  let invariants = ref (Ok ()) in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = E.create ~mode ~seed ~bound_every:1 () in
+        for p = 0 to procs - 1 do
+          let rng = Rng.of_seed (Int64.add seed (Int64.of_int (p + 1))) in
+          Machine.spawn (fun () ->
+              for i = 0 to ops - 1 do
+                if Rng.bernoulli rng 0.55 then begin
+                  let key = Rng.int rng range in
+                  if E.insert q key ((p * 1_000_000) + i) = `Inserted then
+                    created.(p) <- key :: created.(p)
+                end
+                else
+                  match E.delete_min q with
+                  | Some (k, _) -> deleted.(p) <- k :: deleted.(p)
+                  | None -> ()
+              done)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work (1 lsl 50);
+            leftover := List.map fst (E.to_list q);
+            invariants := E.check_invariants q))
+  in
+  ok_or_fail !invariants;
+  let count keys k = List.length (List.filter (( = ) k) keys) in
+  let all_created = List.concat (Array.to_list created) in
+  let all_deleted = List.concat (Array.to_list deleted) in
+  for k = 0 to range - 1 do
+    let made = count all_created k
+    and consumed = count all_deleted k + count !leftover k in
+    if made <> consumed then
+      Alcotest.failf "key %d: %d instances created but %d delivered or left" k made
+        consumed
+  done
+
+let test_duplicate_conservation_strict () =
+  duplicate_key_conservation ~mode:E.SQ.Strict ~seed:31L ()
+
+let test_duplicate_conservation_relaxed () =
+  duplicate_key_conservation ~mode:E.SQ.Relaxed ~seed:32L ()
+
 (* --- native domains -------------------------------------------------------- *)
 
 let test_native_conservation () =
@@ -264,6 +391,10 @@ let () =
         [
           Alcotest.test_case "insert eliminates with waiter" `Quick
             test_insert_eliminates_with_waiting_deleter;
+          Alcotest.test_case "duplicate key updates, never eliminates" `Quick
+            test_duplicate_key_updates_instead_of_eliminating;
+          Alcotest.test_case "stale bound refused by fresh read" `Quick
+            test_stale_bound_does_not_eliminate;
           Alcotest.test_case "collider combines and serves" `Quick
             test_collider_combines_and_serves_waiter;
           Alcotest.test_case "empty handoff" `Quick test_combiner_hands_off_empty;
@@ -274,6 +405,10 @@ let () =
         [
           Alcotest.test_case "conservation strict" `Quick test_conservation_strict;
           Alcotest.test_case "conservation relaxed" `Quick test_conservation_relaxed;
+          Alcotest.test_case "duplicate-key conservation strict" `Quick
+            test_duplicate_conservation_strict;
+          Alcotest.test_case "duplicate-key conservation relaxed" `Quick
+            test_duplicate_conservation_relaxed;
         ] );
       ( "native",
         [ Alcotest.test_case "4-domain conservation" `Quick test_native_conservation ] );
