@@ -1,6 +1,12 @@
-(* Bechamel benchmark suite.
+(* Bechamel benchmark suite, plus a simulator-throughput report.
 
-   Two groups:
+   The suite opens with the simulator-throughput group: the fig7 sweep at
+   bench scale timed with the scheduler run-ahead fast path on and off
+   (host seconds per sweep, simulated events/s and accesses/s).
+   `--sim-only` stops there; `--json PATH` writes the numbers for CI
+   artifacts (BENCH_sim.json); `--sim-runs N` sets the repetitions.
+
+   Then two bechamel groups:
 
    - "paper": one Test.make per table/figure of the paper (fig2..fig8 and
      the ablations).  Each test executes one scaled-down simulator run of
@@ -23,6 +29,7 @@ let quick_options =
     Repro_workload.Figures.scale = 0.01;
     max_procs_log2 = 5;
     progress = ignore;
+    jobs = 1;
   }
 
 (* --- one Test.make per paper table/figure -------------------------------- *)
@@ -166,6 +173,83 @@ let micro_tests =
       sim_scheduling;
     ]
 
+(* --- simulator throughput -------------------------------------------------- *)
+
+(* Host-time cost of the simulator itself on the fig7 sweep at bench scale
+   (1% of the ops, processors 1..32) — the configuration the scheduler
+   run-ahead fast path (DESIGN.md §S16) is gated on.  Each mode runs the
+   full SkipQueue + Relaxed sweep [runs] times and reports host seconds
+   per sweep plus simulated events and memory accesses retired per host
+   second.  Results are byte-identical in both modes; only the host time
+   moves.  [--json PATH] writes the numbers for CI artifacts. *)
+
+let fig7_bench_workload procs =
+  {
+    Repro_workload.Benchmark.procs;
+    initial_size = 1000;
+    total_ops = 400 (* fig7's 7000 ops under the bench scale floor *);
+    insert_ratio = 0.5;
+    work_cycles = 100;
+    key_range = 1 lsl 20;
+    seed = 42L;
+  }
+
+let sim_throughput ~runs ~json =
+  let module QA = Repro_workload.Queue_adapter in
+  let module B = Repro_workload.Benchmark in
+  let impls = [ QA.find QA.Sim "SkipQueue"; QA.find QA.Sim "Relaxed SkipQueue" ] in
+  let procs = [ 1; 2; 4; 8; 16; 32 ] in
+  let measure ~fast_path =
+    let events = ref 0 and accesses = ref 0 in
+    let t0 = Sys.time () in
+    for _ = 1 to runs do
+      (* deterministic: every repetition retires the same counts *)
+      events := 0;
+      accesses := 0;
+      List.iter
+        (fun impl ->
+          List.iter
+            (fun p ->
+              let m = B.run ~fast_path impl (fig7_bench_workload p) in
+              events := !events + m.B.machine.Machine.events;
+              accesses := !accesses + m.B.machine.Machine.accesses)
+            procs)
+        impls
+    done;
+    let per_run = (Sys.time () -. t0) /. float_of_int runs in
+    (per_run, !events, !accesses)
+  in
+  let on_s, events, accesses = measure ~fast_path:true in
+  let off_s, _, _ = measure ~fast_path:false in
+  let rate n s = float_of_int n /. s in
+  print_endline "=== simulator throughput: fig7 sweep, bench scale ===";
+  Printf.printf "%-22s %12s %16s %18s\n" "scheduler" "s/sweep" "events/s" "accesses/s";
+  Printf.printf "%-22s %12.4f %16.0f %18.0f\n" "fast path on" on_s (rate events on_s)
+    (rate accesses on_s);
+  Printf.printf "%-22s %12.4f %16.0f %18.0f\n" "fast path off" off_s (rate events off_s)
+    (rate accesses off_s);
+  Printf.printf "fast-path speedup: %.2fx (%d simulated events, %d accesses per sweep)\n"
+    (off_s /. on_s) events accesses;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      {|{
+  "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed)",
+  "runs_per_mode": %d,
+  "simulated_events_per_sweep": %d,
+  "simulated_accesses_per_sweep": %d,
+  "fast_path_on": { "seconds_per_sweep": %.6f, "events_per_sec": %.0f, "accesses_per_sec": %.0f },
+  "fast_path_off": { "seconds_per_sweep": %.6f, "events_per_sec": %.0f, "accesses_per_sec": %.0f },
+  "fast_path_speedup": %.3f
+}
+|}
+      runs events accesses on_s (rate events on_s) (rate accesses on_s) off_s
+      (rate events off_s) (rate accesses off_s) (off_s /. on_s);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 (* --- driver ---------------------------------------------------------------- *)
 
 let benchmark tests =
@@ -200,6 +284,28 @@ let print_results results =
     rows
 
 let () =
+  let json = ref None in
+  let sim_only = ref false in
+  let runs = ref 5 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | "--sim-only" :: rest ->
+      sim_only := true;
+      parse rest
+    | "--sim-runs" :: n :: rest ->
+      runs := int_of_string n;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S (known: --json PATH, --sim-only, --sim-runs N)\n" arg;
+      Stdlib.exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  sim_throughput ~runs:!runs ~json:!json;
+  if !sim_only then Stdlib.exit 0;
+  print_newline ();
   print_endline "=== bechamel: host-time per benchmark ===";
   print_endline "(paper/* entries each run one scaled-down simulation of that figure)";
   let results = benchmark (Test.make_grouped ~name:"" [ paper_tests; micro_tests ]) in

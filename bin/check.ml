@@ -52,7 +52,7 @@ let print_violation ~impl ~profile (v : Harness.violation) =
          profile.Harness.ops_per_proc profile.Harness.jitter)
 
 let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mutant replay
-    quiet =
+    quiet jobs =
   let broken =
     if broken then Some (Option.value mutant ~default:"swap")
     else
@@ -77,7 +77,7 @@ let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mut
     | Some s -> [ s ]
     | None -> Harness.seeds ~start:start_seed ~count:seeds
   in
-  let summaries = Harness.sweep ~bounds ~profile impls seed_list in
+  let summaries = Harness.sweep ~bounds ~profile ~jobs impls seed_list in
   let total_violations = ref 0 in
   List.iter
     (fun (s : Harness.summary) ->
@@ -195,12 +195,21 @@ let replay =
 
 let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print violations and the final line only.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Repro_workload.Jobs.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains sweeping seeds concurrently.  Verdicts are identical for \
+           any value; 1 disables parallelism.")
+
 let cmd =
   let doc = "sweep schedule seeds over the queue backends and check the recorded histories" in
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
       const run $ seeds $ start_seed $ backends $ procs $ ops $ jitter $ max_rank $ mean_rank
-      $ broken $ mutant $ replay $ quiet)
+      $ broken $ mutant $ replay $ quiet $ jobs)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

@@ -40,9 +40,9 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let run_figures ids scale max_procs_log2 domains output quiet =
+let run_figures ids scale max_procs_log2 domains output quiet jobs =
   let progress msg = if not quiet then Printf.eprintf "[run] %s\n%!" msg in
-  let options = { Repro_workload.Figures.scale; max_procs_log2; progress } in
+  let options = { Repro_workload.Figures.scale; max_procs_log2; progress; jobs } in
   let known = Repro_workload.Figures.all in
   let targets =
     match ids with
@@ -109,6 +109,16 @@ let output =
   let doc = "Also write each experiment's rendered text and CSV data here." in
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"DIR" ~doc)
 
+let jobs =
+  let doc =
+    "Domains running independent sweep points concurrently.  Results are \
+     identical for any value; 1 disables parallelism."
+  in
+  Arg.(
+    value
+    & opt int (Repro_workload.Jobs.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc =
     "regenerate the evaluation of 'Skiplist-Based Concurrent Priority Queues'"
@@ -126,13 +136,13 @@ let cmd =
   in
   let term =
     Term.(
-      const (fun ids scale max_procs domains output quiet ->
+      const (fun ids scale max_procs domains output quiet jobs ->
           let max_procs_log2 =
             let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
             log2 (Int.max 1 max_procs)
           in
-          run_figures ids scale max_procs_log2 domains output quiet)
-      $ ids $ scale $ max_procs $ domains $ output $ quiet)
+          run_figures ids scale max_procs_log2 domains output quiet jobs)
+      $ ids $ scale $ max_procs $ domains $ output $ quiet $ jobs)
   in
   Cmd.v (Cmd.info "experiments" ~doc ~man) term
 

@@ -89,31 +89,35 @@ type summary = {
 
 let seeds ~start ~count = List.init count (fun i -> Int64.add start (Int64.of_int i))
 
-let sweep_impl ?bounds ?profile (impl : QA.impl) seed_list =
-  let events = ref 0 in
-  let violations =
-    List.concat_map
+let sweep_impl ?bounds ?profile ?(jobs = 1) (impl : QA.impl) seed_list =
+  (* Each seed is an independent, pure simulation (everything derives from
+     the seed), so the sweep fans out over [jobs] domains; results are
+     collected in seed order, making the summary identical for any [jobs]
+     (see DESIGN.md §S16). *)
+  let per_seed =
+    Repro_workload.Jobs.map ~jobs
       (fun seed ->
         (* A run that crashes, deadlocks, or wedges (e.g. a race corrupted
            the structure into an unbounded hunt) is itself a caught,
            replayable violation — not a sweep failure. *)
         match run_one ?profile impl seed with
         | h ->
-          events := !events + List.length h.Checkers.events;
-          List.map
-            (fun (check, message) -> { seed; check; message })
-            (Checkers.failures (Checkers.check_all ?bounds h))
+          ( List.length h.Checkers.events,
+            List.map
+              (fun (check, message) -> { seed; check; message })
+              (Checkers.failures (Checkers.check_all ?bounds h)) )
         | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
-        | exception e -> [ { seed; check = "execution"; message = Printexc.to_string e } ])
+        | exception e ->
+          (0, [ { seed; check = "execution"; message = Printexc.to_string e } ]))
       seed_list
   in
   {
     impl = impl.QA.name;
     spec = impl.QA.spec;
     runs = List.length seed_list;
-    events = !events;
-    violations;
+    events = List.fold_left (fun acc (n, _) -> acc + n) 0 per_seed;
+    violations = List.concat_map snd per_seed;
   }
 
-let sweep ?bounds ?profile impls seed_list =
-  List.map (fun impl -> sweep_impl ?bounds ?profile impl seed_list) impls
+let sweep ?bounds ?profile ?jobs impls seed_list =
+  List.map (fun impl -> sweep_impl ?bounds ?profile ?jobs impl seed_list) impls

@@ -44,14 +44,19 @@ val seeds : start:int64 -> count:int -> int64 list
 val sweep_impl :
   ?bounds:Checkers.bounds ->
   ?profile:profile ->
+  ?jobs:int ->
   Repro_workload.Queue_adapter.impl ->
   int64 list ->
   summary
-(** Runs every seed through {!run_one} and {!Checkers.check_all}. *)
+(** Runs every seed through {!run_one} and {!Checkers.check_all}.
+    [jobs] (default 1) fans the seeds out over that many domains via
+    {!Repro_workload.Jobs.map}; seeds are independent simulations, so the
+    summary is identical for any [jobs]. *)
 
 val sweep :
   ?bounds:Checkers.bounds ->
   ?profile:profile ->
+  ?jobs:int ->
   Repro_workload.Queue_adapter.impl list ->
   int64 list ->
   summary list

@@ -1,11 +1,138 @@
-module Heap = Repro_pqueue.Seq_heap.Make (Repro_pqueue.Key.Int_pair)
+(* Monomorphic 4-ary heap specialized for the scheduler's hot path.
 
-type 'a t = 'a Heap.t
+   Keys are (time, seq) pairs held in two parallel [int] arrays — a single
+   packed key is impossible because quiescent-drain workloads push clocks
+   past 2^55 while perturbed tie-breaks use 30-bit sequence numbers, and
+   55 + 30 does not fit a 63-bit int.  Payloads (processor id, resumption
+   thunk) live in two more parallel arrays, so neither [insert] nor [pop]
+   allocates.  Slots [size .. size+3] always hold [max_int] sentinel keys,
+   letting the 4-way sift-down read a full child block without bounds
+   checks (real keys are strictly below [max_int]). *)
 
-let create () = Heap.create ~initial_capacity:1024 ()
-let length = Heap.length
-let is_empty = Heap.is_empty
-let insert t key v = Heap.insert t key v
+let dummy_thunk () = ()
 
-let pop_min t =
-  match Heap.delete_min t with None -> None | Some (k, v) -> Some (k, v)
+type t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable procs : int array;
+  mutable thunks : (unit -> unit) array;
+  mutable size : int;
+  (* destination of [pop]: reading the popped event through these scratch
+     fields keeps the hot path free of tuple/option allocation *)
+  mutable popped_time : int;
+  mutable popped_proc : int;
+  mutable popped_thunk : unit -> unit;
+}
+
+let create ?(initial_capacity = 1024) () =
+  let capacity = Int.max 8 initial_capacity in
+  {
+    times = Array.make capacity max_int;
+    seqs = Array.make capacity max_int;
+    procs = Array.make capacity 0;
+    thunks = Array.make capacity dummy_thunk;
+    size = 0;
+    popped_time = 0;
+    popped_proc = 0;
+    popped_thunk = dummy_thunk;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let min_time t = t.times.(0) (* sentinel max_int when empty *)
+
+let grow t =
+  let capacity = 2 * Array.length t.times in
+  let times = Array.make capacity max_int in
+  let seqs = Array.make capacity max_int in
+  let procs = Array.make capacity 0 in
+  let thunks = Array.make capacity dummy_thunk in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.procs 0 procs 0 t.size;
+  Array.blit t.thunks 0 thunks 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.procs <- procs;
+  t.thunks <- thunks
+
+let insert t ~time ~seq ~proc thunk =
+  if time >= max_int then invalid_arg "Event_queue.insert: time >= max_int";
+  (* keep the sentinel block [size .. size+3] inside the arrays *)
+  if t.size + 5 > Array.length t.times then grow t;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  (* sift up: move larger parents down, drop the new key into the hole *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let pt = t.times.(parent) in
+    if time < pt || (time = pt && seq < t.seqs.(parent)) then begin
+      t.times.(!i) <- pt;
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.procs.(!i) <- t.procs.(parent);
+      t.thunks.(!i) <- t.thunks.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.procs.(!i) <- proc;
+  t.thunks.(!i) <- thunk
+
+let pop t =
+  if t.size = 0 then false
+  else begin
+    t.popped_time <- t.times.(0);
+    t.popped_proc <- t.procs.(0);
+    t.popped_thunk <- t.thunks.(0);
+    let last = t.size - 1 in
+    t.size <- last;
+    let kt = t.times.(last) and ks = t.seqs.(last) in
+    let kp = t.procs.(last) and kf = t.thunks.(last) in
+    (* restore the sentinel behind the shrunk heap *)
+    t.times.(last) <- max_int;
+    t.seqs.(last) <- max_int;
+    t.procs.(last) <- 0;
+    t.thunks.(last) <- dummy_thunk;
+    if last > 0 then begin
+      (* sift down the displaced last element through a hole at the root;
+         child blocks are always fully readable thanks to the sentinels *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let base = (4 * !i) + 1 in
+        if base >= t.size then continue := false
+        else begin
+          let m = ref base in
+          let mt = ref t.times.(base) and ms = ref t.seqs.(base) in
+          for c = base + 1 to base + 3 do
+            let ct = t.times.(c) in
+            if ct < !mt || (ct = !mt && t.seqs.(c) < !ms) then begin
+              m := c;
+              mt := ct;
+              ms := t.seqs.(c)
+            end
+          done;
+          if !mt < kt || (!mt = kt && !ms < ks) then begin
+            t.times.(!i) <- !mt;
+            t.seqs.(!i) <- !ms;
+            t.procs.(!i) <- t.procs.(!m);
+            t.thunks.(!i) <- t.thunks.(!m);
+            i := !m
+          end
+          else continue := false
+        end
+      done;
+      t.times.(!i) <- kt;
+      t.seqs.(!i) <- ks;
+      t.procs.(!i) <- kp;
+      t.thunks.(!i) <- kf
+    end;
+    true
+  end
+
+let popped_time t = t.popped_time
+let popped_proc t = t.popped_proc
+let popped_thunk t = t.popped_thunk

@@ -1,13 +1,39 @@
 (** The simulator's pending-event queue.
 
-    A thin wrapper over the sequential binary heap keyed by
-    [(simulated time, sequence number)] — the sequence number makes
-    same-time events FIFO and the whole simulation deterministic. *)
+    A monomorphic 4-ary heap over parallel [int] arrays, keyed by
+    [(simulated time, sequence number)] in lexicographic order — the
+    sequence number makes same-time events FIFO and the whole simulation
+    deterministic.  The hot path ([insert] / [pop]) allocates nothing:
+    keys and payloads live in parallel arrays and [pop] deposits the
+    popped event in scratch fields read through {!popped_time},
+    {!popped_proc} and {!popped_thunk}.  Slots beyond the heap carry
+    [max_int] sentinel keys so the 4-way sift-down never bounds-checks;
+    consequently event times must be strictly below [max_int] (clocks top
+    out around 2^55 in practice). *)
 
-type 'a t
+type t
 
-val create : unit -> 'a t
-val length : 'a t -> int
-val is_empty : 'a t -> bool
-val insert : 'a t -> int * int -> 'a -> unit
-val pop_min : 'a t -> ((int * int) * 'a) option
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val min_time : t -> int
+(** Time key of the earliest pending event, or [max_int] when empty — the
+    scheduler's run-ahead fast path compares the running processor's clock
+    against this without popping. *)
+
+val insert : t -> time:int -> seq:int -> proc:int -> (unit -> unit) -> unit
+(** [insert t ~time ~seq ~proc thunk] schedules [thunk] for processor
+    [proc] at key [(time, seq)].  Raises [Invalid_argument] if
+    [time >= max_int] (the sentinel). *)
+
+val pop : t -> bool
+(** Removes the minimum event and stores it in the scratch fields below;
+    returns [false] (leaving the scratch untouched) when empty. *)
+
+val popped_time : t -> int
+val popped_proc : t -> int
+
+val popped_thunk : t -> unit -> unit
+(** Valid until the next [pop]; the queue drops its own reference to the
+    thunk when popping, so held continuations are not leaked. *)

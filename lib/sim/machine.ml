@@ -1,6 +1,7 @@
 type report = {
   end_time : int;
   processors : int;
+  events : int;
   accesses : int;
   cache_hits : int;
   queued_cycles : int;
@@ -8,6 +9,7 @@ type report = {
   lock_acquisitions : int;
   lock_contentions : int;
   lock_wait_cycles : int;
+  lock_try_failures : int;
 }
 
 exception Deadlock of string
@@ -32,23 +34,63 @@ type _ Effect.t +=
   | Probe_time : int Effect.t
   | Self : int Effect.t
   | Spawn : (unit -> unit) -> unit Effect.t
+  (* Internal: performed by the run-ahead public operations (see the
+     elision functions at the bottom of this file) when a step's state
+     changes are already applied and the processor merely needs to yield
+     to the scheduler ([Yield]) or park on the lock in the [eff_lock]
+     mailbox ([Park]).  Both are constant constructors so performing them
+     allocates nothing. *)
+  | Yield : unit Effect.t
+  | Park : unit Effect.t
+
+(* The run-ahead register: when the current processor's next event is
+   strictly below everything in the heap, its continuation parks here and
+   the scheduler loop resumes it directly — no heap insert, no pop, no
+   closure.  Holding the continuation (plus its result for the non-unit
+   effects) in a dedicated variant keeps the fast path allocation-light
+   and, crucially, keeps resumption inside the scheduler loop: resuming
+   from the loop (a trampoline) rather than inside the effect handler
+   bounds the native stack no matter how many consecutive events
+   fast-path. *)
+type pending =
+  | No_pending
+  | Pending_unit of (unit, unit) Effect.Deep.continuation
+  | Pending_int of (int, unit) Effect.Deep.continuation * int
+  | Pending_bool of (bool, unit) Effect.Deep.continuation * bool
 
 (* Mutable simulation state, all local to one [run] call. *)
 type state = {
   config : Memory_model.config;
   memory : Memory_model.system;
   tracer : Trace.sink option;
-  perturb : (Repro_util.Rng.t * int) option; (* rng, max jitter cycles *)
-  events : (int * (unit -> unit)) Event_queue.t; (* keyed by (clock, seq) *)
+  scratch : Memory_model.scratch; (* reused destination for every charge *)
+  perturbed : bool;
+  prng : Repro_util.Rng.t; (* meaningful only when [perturbed] *)
+  jitter : int; (* max extra cycles per event, only when [perturbed] *)
+  fast_enabled : bool; (* run-ahead legal: not perturbed, not disabled *)
+  events : Event_queue.t;
+  mutable pending : pending;
   mutable seq : int;
   mutable current : int; (* running processor *)
   clocks : int array; (* local clock per processor *)
   mutable next_proc : int;
   mutable next_loc : int;
   mutable parked : int;
+  mutable waiting_locks : lock list; (* locks with at least one waiter *)
   mutable finished : int;
   mutable end_time : int;
+  (* Payload mailboxes for the pre-allocated effect handlers: [effc]
+     stores the effect's argument here and returns a constant [Some
+     handler], so handling a hot effect allocates nothing (a fresh
+     closure per effect would cost ~7 words at millions of effects per
+     figure).  Safe because the runtime invokes the returned handler
+     immediately, before any other effect can overwrite the mailbox. *)
+  mutable eff_int : int;
+  mutable eff_meta : Memory_model.meta;
+  mutable eff_kind : Memory_model.kind;
+  mutable eff_lock : lock;
   (* statistics *)
+  mutable dispatched : int;
   mutable accesses : int;
   mutable cache_hits : int;
   mutable queued_cycles : int;
@@ -56,24 +98,59 @@ type state = {
   mutable lock_acquisitions : int;
   mutable lock_contentions : int;
   mutable lock_wait_cycles : int;
+  mutable lock_try_failures : int;
 }
 
-(* Without [perturb] the key is [(at, seq)]: same-time events run FIFO and
-   the whole simulation is a pure function of the program.  With it, the
-   seeded stream delays each event by up to [jitter] cycles and replaces
-   the FIFO sequence number with a random tie-break, so distinct seeds
-   explore distinct (but individually deterministic and replayable) legal
-   interleavings — the schedule fuzzer's lever. *)
-let enqueue st ~proc ~at thunk =
+(* Without perturbation the key is [(at, seq)]: same-time events run FIFO
+   and the whole simulation is a pure function of the program.  With it,
+   the seeded stream delays each event by up to [jitter] cycles and
+   replaces the FIFO sequence number with a random tie-break, so distinct
+   seeds explore distinct (but individually deterministic and replayable)
+   legal interleavings — the schedule fuzzer's lever.  The two cases are
+   separate functions so the scheduler's hot loop branches on a plain
+   bool instead of matching an option per event. *)
+let enqueue_plain st ~proc ~at thunk =
   st.seq <- st.seq + 1;
-  let key =
-    match st.perturb with
-    | None -> (at, st.seq)
-    | Some (rng, jitter) ->
-      let at = if jitter > 0 then at + Repro_util.Rng.int rng (jitter + 1) else at in
-      (at, Repro_util.Rng.int rng 0x4000_0000)
+  Event_queue.insert st.events ~time:at ~seq:st.seq ~proc thunk
+
+let enqueue_perturbed st ~proc ~at thunk =
+  st.seq <- st.seq + 1;
+  let at =
+    if st.jitter > 0 then at + Repro_util.Rng.int st.prng (st.jitter + 1) else at
   in
-  Event_queue.insert st.events key (proc, thunk)
+  Event_queue.insert st.events ~time:at
+    ~seq:(Repro_util.Rng.int st.prng 0x4000_0000)
+    ~proc thunk
+
+let enqueue st ~proc ~at thunk =
+  if st.perturbed then enqueue_perturbed st ~proc ~at thunk
+  else enqueue_plain st ~proc ~at thunk
+
+(* Run-ahead check for the current processor's continuation at time [at]:
+   legal exactly when [at] is strictly below the heap's minimum timestamp
+   ([min_time] is [max_int] on an empty heap), because then no pending or
+   future event can be ordered before it — strictly-smaller keys win
+   regardless of the FIFO tie-break, and every event enqueued later
+   carries a later sequence number.  See DESIGN.md §S16. *)
+let[@inline] fast_ok st at = st.fast_enabled && at < Event_queue.min_time st.events
+
+let resume_unit st (k : (unit, unit) Effect.Deep.continuation) =
+  let p = st.current in
+  let at = st.clocks.(p) in
+  if fast_ok st at then st.pending <- Pending_unit k
+  else enqueue st ~proc:p ~at (fun () -> Effect.Deep.continue k ())
+
+let resume_int st (k : (int, unit) Effect.Deep.continuation) v =
+  let p = st.current in
+  let at = st.clocks.(p) in
+  if fast_ok st at then st.pending <- Pending_int (k, v)
+  else enqueue st ~proc:p ~at (fun () -> Effect.Deep.continue k v)
+
+let resume_bool st (k : (bool, unit) Effect.Deep.continuation) v =
+  let p = st.current in
+  let at = st.clocks.(p) in
+  if fast_ok st at then st.pending <- Pending_bool (k, v)
+  else enqueue st ~proc:p ~at (fun () -> Effect.Deep.continue k v)
 
 let handoff_cost st = st.config.Memory_model.remote_fetch
 
@@ -81,12 +158,15 @@ let handoff_cost st = st.config.Memory_model.remote_fetch
 let charge_access st meta kind =
   let proc = st.current in
   let now = st.clocks.(proc) in
-  let c = Memory_model.access st.memory meta ~proc ~now kind in
+  let c = st.scratch in
+  Memory_model.access_into c st.memory meta ~proc ~now kind;
   st.accesses <- st.accesses + 1;
-  if c.hit then st.cache_hits <- st.cache_hits + 1;
-  st.queued_cycles <- st.queued_cycles + c.queued;
-  if kind = Memory_model.Swap then st.swaps <- st.swaps + 1;
-  st.clocks.(proc) <- c.finish;
+  if c.Memory_model.c_hit then st.cache_hits <- st.cache_hits + 1;
+  st.queued_cycles <- st.queued_cycles + c.Memory_model.c_queued;
+  (match kind with
+  | Memory_model.Swap -> st.swaps <- st.swaps + 1
+  | Memory_model.Read | Memory_model.Write -> ());
+  st.clocks.(proc) <- c.Memory_model.c_finish;
   match st.tracer with
   | None -> ()
   | Some sink ->
@@ -96,33 +176,169 @@ let charge_access st meta kind =
            proc;
            location = Memory_model.location_id meta;
            kind;
-           start = c.start;
-           finish = c.finish;
-           hit = c.hit;
-           queued = c.queued;
+           start = c.Memory_model.c_start;
+           finish = c.Memory_model.c_finish;
+           hit = c.Memory_model.c_hit;
+           queued = c.Memory_model.c_queued;
          })
 
-let run ?(config = Memory_model.default) ?tracer ?perturb main =
+let deadlock_message st =
+  let locks = List.filter (fun l -> not (Queue.is_empty l.waiting)) st.waiting_locks in
+  let pp_lock l =
+    let waiters = List.rev (Queue.fold (fun acc (p, _) -> p :: acc) [] l.waiting) in
+    Printf.sprintf "%S held by %d, waited on by [%s]" l.lock_name l.holder
+      (String.concat "; " (List.map string_of_int waiters))
+  in
+  Printf.sprintf "%d processor(s) parked on locks, none runnable: %s" st.parked
+    (String.concat ", " (List.map pp_lock (List.rev locks)))
+
+(* --- step bodies shared between the effect handlers and the run-ahead
+   elision paths.  A public operation either performs its effect (handler
+   runs the body, then [resume_*] re-schedules the continuation) or, when
+   the simulation is unperturbed, runs the body inline and calls
+   [finish_step]; both routes apply the same mutations in the same order,
+   so the two produce bit-identical schedules. --- *)
+
+(* End an inline step: if the processor is still strictly earliest it
+   keeps running (counting the dispatch the heap scheduler would have
+   made); otherwise it performs [Yield], whose handler parks the
+   continuation in the event heap like any other event. *)
+let[@inline] finish_step st =
+  if st.clocks.(st.current) < Event_queue.min_time st.events then
+    st.dispatched <- st.dispatched + 1
+  else Effect.perform Yield
+
+(* Charge the acquire attempt (an atomic RMW on the lock word) and grant
+   the lock if free; returns whether it was granted. *)
+let do_acquire_grant st lock =
+  charge_access st lock.lock_meta Memory_model.Swap;
+  if lock.holder = -1 then begin
+    let p = st.current in
+    lock.holder <- p;
+    st.lock_acquisitions <- st.lock_acquisitions + 1;
+    (match st.tracer with
+    | None -> ()
+    | Some sink ->
+      sink (Trace.Acquired { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+    true
+  end
+  else false
+
+(* Park the already-charged, not-granted acquirer on the lock's FIFO. *)
+let park st lock (k : (unit, unit) Effect.Deep.continuation) =
+  let p = st.current in
+  st.lock_contentions <- st.lock_contentions + 1;
+  st.parked <- st.parked + 1;
+  (match st.tracer with
+  | None -> ()
+  | Some sink ->
+    sink (Trace.Parked { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+  Queue.add (p, k) lock.waiting;
+  if Queue.length lock.waiting = 1 then
+    st.waiting_locks <- lock :: st.waiting_locks
+
+(* The attempt is an atomic RMW on the lock word whether or not it
+   succeeds; a failed try never parks. *)
+let do_try_acquire st lock =
+  charge_access st lock.lock_meta Memory_model.Swap;
+  let got = lock.holder = -1 in
+  if got then begin
+    let p = st.current in
+    lock.holder <- p;
+    st.lock_acquisitions <- st.lock_acquisitions + 1;
+    match st.tracer with
+    | None -> ()
+    | Some sink ->
+      sink (Trace.Acquired { proc = p; lock = lock.lock_name; at = st.clocks.(p) })
+  end
+  else st.lock_try_failures <- st.lock_try_failures + 1;
+  got
+
+let do_release st lock =
+  let p = st.current in
+  if lock.holder <> p then
+    failwith
+      (Printf.sprintf "Machine: processor %d released lock %s held by %d" p
+         lock.lock_name lock.holder);
+  charge_access st lock.lock_meta Memory_model.Write;
+  (match st.tracer with
+  | None -> ()
+  | Some sink ->
+    sink (Trace.Released { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
+  match Queue.take_opt lock.waiting with
+  | None -> lock.holder <- -1
+  | Some (waiter, wk) ->
+    lock.holder <- waiter;
+    (* The handoff is when the waiter's acquisition succeeds — count it
+       here, not at the parked attempt, so [lock_acquisitions] uniformly
+       means grants (see machine.mli). *)
+    st.lock_acquisitions <- st.lock_acquisitions + 1;
+    st.parked <- st.parked - 1;
+    if Queue.is_empty lock.waiting then
+      st.waiting_locks <- List.filter (fun l -> l != lock) st.waiting_locks;
+    let park_time = st.clocks.(waiter) in
+    let wake = Int.max st.clocks.(p) park_time + handoff_cost st in
+    st.lock_wait_cycles <- st.lock_wait_cycles + (wake - park_time);
+    st.clocks.(waiter) <- wake;
+    (match st.tracer with
+    | None -> ()
+    | Some sink ->
+      sink
+        (Trace.Woken
+           {
+             proc = waiter;
+             lock = lock.lock_name;
+             at = wake;
+             waited = wake - park_time;
+           }));
+    enqueue st ~proc:waiter ~at:wake (fun () -> Effect.Deep.continue wk ())
+
+(* The running simulation on this domain, for the elision paths of the
+   public operations.  Domain-local because independent sweep points run
+   whole simulations on separate domains concurrently. *)
+let dls_state : state option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) main =
+  let prng, jitter =
+    match perturb with
+    | None -> (Repro_util.Rng.of_seed 0L, 0)
+    | Some (p : perturbation) ->
+      if p.jitter < 0 then invalid_arg "Machine.run: negative jitter";
+      (Repro_util.Rng.of_seed p.sched_seed, p.jitter)
+  in
+  let perturbed = Option.is_some perturb in
+  let memory = Memory_model.make_system config in
+  (* Placeholder mailbox values, overwritten before any handler reads
+     them; the dummy meta never reaches [access_into]. *)
+  let dummy_meta = Memory_model.make_meta memory ~id:0 in
+  let dummy_lock =
+    { lock_meta = dummy_meta; lock_name = "<none>"; holder = -1;
+      waiting = Queue.create () }
+  in
   let st =
     {
       config;
-      memory = Memory_model.make_system config;
+      memory;
       tracer;
-      perturb =
-        Option.map
-          (fun p ->
-            if p.jitter < 0 then invalid_arg "Machine.run: negative jitter";
-            (Repro_util.Rng.of_seed p.sched_seed, p.jitter))
-          perturb;
+      scratch = Memory_model.make_scratch ();
+      perturbed;
+      prng;
+      jitter;
+      (* Jitter re-keys events, so run-ahead would reorder them; the fast
+         path is only legal on the canonical schedule. *)
+      fast_enabled = fast_path && not perturbed;
       events = Event_queue.create ();
+      pending = No_pending;
       seq = 0;
       current = 0;
       clocks = Array.make config.Memory_model.max_procs 0;
       next_proc = 1;
       next_loc = 0;
       parked = 0;
+      waiting_locks = [];
       finished = 0;
       end_time = 0;
+      dispatched = 0;
       accesses = 0;
       cache_hits = 0;
       queued_cycles = 0;
@@ -130,8 +346,61 @@ let run ?(config = Memory_model.default) ?tracer ?perturb main =
       lock_acquisitions = 0;
       lock_contentions = 0;
       lock_wait_cycles = 0;
+      lock_try_failures = 0;
+      eff_int = 0;
+      eff_meta = dummy_meta;
+      eff_kind = Memory_model.Read;
+      eff_lock = dummy_lock;
     }
   in
+  (* One handler closure per hot effect, allocated once per run; [effc]
+     parks the payload in the [eff_*] mailboxes and returns the matching
+     pre-built [Some].  Cold effects (Alloc, Spawn) keep the ordinary
+     fresh-closure shape. *)
+  let h_work (k : (unit, unit) Effect.Deep.continuation) =
+    let p = st.current in
+    st.clocks.(p) <- st.clocks.(p) + Int.max 0 st.eff_int;
+    resume_unit st k
+  in
+  let some_h_work = Some h_work in
+  let h_access (k : (unit, unit) Effect.Deep.continuation) =
+    charge_access st st.eff_meta st.eff_kind;
+    resume_unit st k
+  in
+  let some_h_access = Some h_access in
+  let h_get_time (k : (int, unit) Effect.Deep.continuation) =
+    let p = st.current in
+    let t = st.clocks.(p) in
+    st.clocks.(p) <- t + st.config.Memory_model.local_fetch;
+    resume_int st k t
+  in
+  let some_h_get_time = Some h_get_time in
+  let h_probe_time (k : (int, unit) Effect.Deep.continuation) =
+    Effect.Deep.continue k st.clocks.(st.current)
+  in
+  let some_h_probe_time = Some h_probe_time in
+  let h_self (k : (int, unit) Effect.Deep.continuation) =
+    Effect.Deep.continue k st.current
+  in
+  let some_h_self = Some h_self in
+  let h_acquire (k : (unit, unit) Effect.Deep.continuation) =
+    let lock = st.eff_lock in
+    if do_acquire_grant st lock then resume_unit st k else park st lock k
+  in
+  let some_h_acquire = Some h_acquire in
+  let h_park (k : (unit, unit) Effect.Deep.continuation) = park st st.eff_lock k in
+  let some_h_park = Some h_park in
+  let h_try_acquire (k : (bool, unit) Effect.Deep.continuation) =
+    resume_bool st k (do_try_acquire st st.eff_lock)
+  in
+  let some_h_try_acquire = Some h_try_acquire in
+  let h_release (k : (unit, unit) Effect.Deep.continuation) =
+    do_release st st.eff_lock;
+    resume_unit st k
+  in
+  let some_h_release = Some h_release in
+  let h_yield (k : (unit, unit) Effect.Deep.continuation) = resume_unit st k in
+  let some_h_yield = Some h_yield in
   let rec start_proc proc body =
     Effect.Deep.match_with body ()
       {
@@ -147,39 +416,50 @@ let run ?(config = Memory_model.default) ?tracer ?perturb main =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
             | Work n ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  let p = st.current in
-                  st.clocks.(p) <- st.clocks.(p) + Int.max 0 n;
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k ()))
+              st.eff_int <- n;
+              (some_h_work
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
             | Access (meta, kind) ->
-              Some
-                (fun k ->
-                  let p = st.current in
-                  charge_access st meta kind;
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k ()))
+              st.eff_meta <- meta;
+              st.eff_kind <- kind;
+              (some_h_access
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Get_time ->
+              (some_h_get_time
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Probe_time ->
+              (some_h_probe_time
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Self ->
+              (some_h_self
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Acquire lock ->
+              st.eff_lock <- lock;
+              (some_h_acquire
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Try_acquire lock ->
+              st.eff_lock <- lock;
+              (some_h_try_acquire
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Release lock ->
+              st.eff_lock <- lock;
+              (some_h_release
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Yield ->
+              (some_h_yield
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Park ->
+              (some_h_park
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
             | Alloc ->
               Some
                 (fun k ->
                   let id = st.next_loc in
                   st.next_loc <- st.next_loc + 1;
                   Effect.Deep.continue k (Memory_model.make_meta st.memory ~id))
-            | Get_time ->
-              Some
-                (fun k ->
-                  let p = st.current in
-                  let t = st.clocks.(p) in
-                  st.clocks.(p) <- t + st.config.Memory_model.local_fetch;
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k t))
-            | Probe_time ->
-              Some (fun k -> Effect.Deep.continue k st.clocks.(st.current))
-            | Self -> Some (fun k -> Effect.Deep.continue k st.current)
             | Spawn body ->
               Some
-                (fun k ->
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
                   let p = st.current in
                   if st.next_proc >= st.config.Memory_model.max_procs then
                     failwith "Machine.spawn: processor limit reached";
@@ -197,119 +477,58 @@ let run ?(config = Memory_model.default) ?tracer ?perturb main =
                   (* Spawning costs one cycle so children interleave
                      deterministically with the parent. *)
                   st.clocks.(p) <- st.clocks.(p) + 1;
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k ()))
-            | Acquire lock ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  let p = st.current in
-                  st.lock_acquisitions <- st.lock_acquisitions + 1;
-                  (* The acquire attempt is an atomic RMW on the lock word. *)
-                  charge_access st lock.lock_meta Memory_model.Swap;
-                  if lock.holder = -1 then begin
-                    lock.holder <- p;
-                    (match st.tracer with
-                    | None -> ()
-                    | Some sink ->
-                      sink
-                        (Trace.Acquired
-                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
-                    enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                        Effect.Deep.continue k ())
-                  end
-                  else begin
-                    st.lock_contentions <- st.lock_contentions + 1;
-                    st.parked <- st.parked + 1;
-                    (match st.tracer with
-                    | None -> ()
-                    | Some sink ->
-                      sink
-                        (Trace.Parked
-                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
-                    Queue.add (p, k) lock.waiting
-                  end)
-            | Try_acquire lock ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  let p = st.current in
-                  (* The attempt is an atomic RMW on the lock word whether
-                     or not it succeeds; a failed try never parks. *)
-                  charge_access st lock.lock_meta Memory_model.Swap;
-                  let got = lock.holder = -1 in
-                  if got then begin
-                    lock.holder <- p;
-                    st.lock_acquisitions <- st.lock_acquisitions + 1;
-                    match st.tracer with
-                    | None -> ()
-                    | Some sink ->
-                      sink
-                        (Trace.Acquired
-                           { proc = p; lock = lock.lock_name; at = st.clocks.(p) })
-                  end;
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k got))
-            | Release lock ->
-              Some
-                (fun k ->
-                  let p = st.current in
-                  if lock.holder <> p then
-                    failwith
-                      (Printf.sprintf "Machine: processor %d released lock %s held by %d"
-                         p lock.lock_name lock.holder);
-                  charge_access st lock.lock_meta Memory_model.Write;
-                  (match st.tracer with
-                  | None -> ()
-                  | Some sink ->
-                    sink
-                      (Trace.Released
-                         { proc = p; lock = lock.lock_name; at = st.clocks.(p) }));
-                  (match Queue.take_opt lock.waiting with
-                  | None -> lock.holder <- -1
-                  | Some (waiter, wk) ->
-                    lock.holder <- waiter;
-                    st.parked <- st.parked - 1;
-                    let park_time = st.clocks.(waiter) in
-                    let wake = Int.max st.clocks.(p) park_time + handoff_cost st in
-                    st.lock_wait_cycles <- st.lock_wait_cycles + (wake - park_time);
-                    st.clocks.(waiter) <- wake;
-                    (match st.tracer with
-                    | None -> ()
-                    | Some sink ->
-                      sink
-                        (Trace.Woken
-                           {
-                             proc = waiter;
-                             lock = lock.lock_name;
-                             at = wake;
-                             waited = wake - park_time;
-                           }));
-                    enqueue st ~proc:waiter ~at:wake (fun () ->
-                        Effect.Deep.continue wk ()));
-                  enqueue st ~proc:p ~at:st.clocks.(p) (fun () ->
-                      Effect.Deep.continue k ()))
+                  resume_unit st k)
             | _ -> None)
       }
   in
   enqueue st ~proc:0 ~at:0 (fun () -> start_proc 0 main);
+  (* The scheduler trampoline: drain the run-ahead register first — the
+     handler that set it already proved the event precedes everything in
+     the heap — then fall back to popping the heap.  Resuming here keeps
+     the stack depth constant however long the fast-path streak. *)
   let rec loop () =
-    match Event_queue.pop_min st.events with
-    | None ->
-      if st.parked > 0 then
-        raise
-          (Deadlock
-             (Printf.sprintf "%d processor(s) parked on locks, none runnable" st.parked))
-    | Some ((at, _), (proc, thunk)) ->
-      st.current <- proc;
-      (* A parked-and-woken processor's clock may have been pushed past the
-         event key; never let clocks run backwards. *)
-      if st.clocks.(proc) < at then st.clocks.(proc) <- at;
-      thunk ();
+    match st.pending with
+    | Pending_unit k ->
+      st.pending <- No_pending;
+      st.dispatched <- st.dispatched + 1;
+      Effect.Deep.continue k ();
       loop ()
+    | Pending_int (k, v) ->
+      st.pending <- No_pending;
+      st.dispatched <- st.dispatched + 1;
+      Effect.Deep.continue k v;
+      loop ()
+    | Pending_bool (k, v) ->
+      st.pending <- No_pending;
+      st.dispatched <- st.dispatched + 1;
+      Effect.Deep.continue k v;
+      loop ()
+    | No_pending ->
+      if Event_queue.pop st.events then begin
+        let proc = Event_queue.popped_proc st.events in
+        let at = Event_queue.popped_time st.events in
+        st.current <- proc;
+        st.dispatched <- st.dispatched + 1;
+        (* A parked-and-woken or jitter-delayed processor's clock may trail
+           the event key; never let clocks run backwards. *)
+        if st.clocks.(proc) < at then st.clocks.(proc) <- at;
+        (Event_queue.popped_thunk st.events) ();
+        loop ()
+      end
+      else if st.parked > 0 then raise (Deadlock (deadlock_message st))
   in
-  loop ();
+  (* Expose [st] to the public operations' elision paths for the duration
+     of the simulation (restoring any enclosing run's state on the way
+     out, including on exceptions). *)
+  let prev_dls = Domain.DLS.get dls_state in
+  Domain.DLS.set dls_state (Some st);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set dls_state prev_dls)
+    loop;
   {
     end_time = st.end_time;
     processors = st.next_proc;
+    events = st.dispatched;
     accesses = st.accesses;
     cache_hits = st.cache_hits;
     queued_cycles = st.queued_cycles;
@@ -317,6 +536,7 @@ let run ?(config = Memory_model.default) ?tracer ?perturb main =
     lock_acquisitions = st.lock_acquisitions;
     lock_contentions = st.lock_contentions;
     lock_wait_cycles = st.lock_wait_cycles;
+    lock_try_failures = st.lock_try_failures;
   }
 
 let not_in_sim () = failwith "Machine: operation used outside Machine.run"
@@ -324,13 +544,61 @@ let not_in_sim () = failwith "Machine: operation used outside Machine.run"
 let perform_or_fail eff =
   try Effect.perform eff with Effect.Unhandled _ -> not_in_sim ()
 
+(* The public operations elide the effect entirely when the simulation is
+   unperturbed (run-ahead): they apply the same step body the handler
+   would and only perform a [Yield]/[Park] when the processor actually
+   needs the scheduler.  Skipping the perform saves two stack switches
+   and a continuation allocation per event — the bulk of the simulator's
+   per-event host cost.  Perturbed (or [~fast_path:false]) runs take the
+   effect route for every operation, which the golden determinism test
+   pins as byte-identical. *)
+
 let spawn body = perform_or_fail (Spawn body)
-let work n = perform_or_fail (Work n)
-let get_time () = perform_or_fail Get_time
-let probe_time () = perform_or_fail Probe_time
-let self () = perform_or_fail Self
-let alloc_meta () = perform_or_fail Alloc
-let access meta kind = perform_or_fail (Access (meta, kind))
+
+let work n =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    let p = st.current in
+    st.clocks.(p) <- st.clocks.(p) + Int.max 0 n;
+    finish_step st
+  | _ -> perform_or_fail (Work n)
+
+let get_time () =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    let p = st.current in
+    let t = st.clocks.(p) in
+    st.clocks.(p) <- t + st.config.Memory_model.local_fetch;
+    finish_step st;
+    t
+  | _ -> perform_or_fail Get_time
+
+(* [probe_time], [self] and [alloc_meta] never touch the schedule, so
+   their elision is legal even under perturbation. *)
+let probe_time () =
+  match Domain.DLS.get dls_state with
+  | Some st -> st.clocks.(st.current)
+  | None -> perform_or_fail Probe_time
+
+let self () =
+  match Domain.DLS.get dls_state with
+  | Some st -> st.current
+  | None -> perform_or_fail Self
+
+let alloc_meta () =
+  match Domain.DLS.get dls_state with
+  | Some st ->
+    let id = st.next_loc in
+    st.next_loc <- id + 1;
+    Memory_model.make_meta st.memory ~id
+  | None -> perform_or_fail Alloc
+
+let access meta kind =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    charge_access st meta kind;
+    finish_step st
+  | _ -> perform_or_fail (Access (meta, kind))
 
 let lock_create ?(name = "lock") () =
   {
@@ -340,6 +608,27 @@ let lock_create ?(name = "lock") () =
     waiting = Queue.create ();
   }
 
-let lock_acquire lock = perform_or_fail (Acquire lock)
-let lock_try_acquire lock = perform_or_fail (Try_acquire lock)
-let lock_release lock = perform_or_fail (Release lock)
+let lock_acquire lock =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    if do_acquire_grant st lock then finish_step st
+    else begin
+      st.eff_lock <- lock;
+      Effect.perform Park
+    end
+  | _ -> perform_or_fail (Acquire lock)
+
+let lock_try_acquire lock =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    let got = do_try_acquire st lock in
+    finish_step st;
+    got
+  | _ -> perform_or_fail (Try_acquire lock)
+
+let lock_release lock =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    do_release st lock;
+    finish_step st
+  | _ -> perform_or_fail (Release lock)

@@ -16,17 +16,34 @@
 type report = {
   end_time : int;  (** simulated cycles until the last processor finished *)
   processors : int;  (** total processors that ran (including the root) *)
+  events : int;
+      (** scheduler dispatches: every resumption of a processor, whether
+          through the event heap or the run-ahead fast path — the
+          simulator-throughput bench's denominator *)
   accesses : int;
   cache_hits : int;
   queued_cycles : int;  (** total cycles spent waiting on memory modules *)
   swaps : int;
   lock_acquisitions : int;
-  lock_contentions : int;  (** acquisitions that had to park *)
+      (** {e successful} acquisitions (grants), uniformly across both lock
+          operations: an immediate [lock_acquire] grant, the handoff to a
+          parked waiter at release time, and a successful
+          [lock_try_acquire] each count one.  A parked attempt is counted
+          once — when its grant arrives — never per attempt. *)
+  lock_contentions : int;  (** [lock_acquire] attempts that had to park *)
   lock_wait_cycles : int;  (** total cycles parked waiting for locks *)
+  lock_try_failures : int;
+      (** [lock_try_acquire] attempts that found the lock held.  Total
+          attempted lock RMWs = [lock_acquisitions + lock_try_failures]:
+          every attempt either eventually succeeds (counted in
+          acquisitions, once) or is a failed try. *)
 }
 
 exception Deadlock of string
-(** Raised when no processor is runnable but some are parked on locks. *)
+(** Raised when no processor is runnable but some are parked on locks.
+    The message names each lock that still has waiters, its holder and the
+    parked processor ids, e.g.
+    ["2 processor(s) parked on locks, none runnable: \"a\" held by 2, waited on by [1], ..."]. *)
 
 type perturbation = { sched_seed : int64; jitter : int }
 (** Schedule-exploration mode (the history fuzzer's lever).  A seeded
@@ -41,6 +58,7 @@ val run :
   ?config:Memory_model.config ->
   ?tracer:Trace.sink ->
   ?perturb:perturbation ->
+  ?fast_path:bool ->
   (unit -> unit) ->
   report
 (** [run main] executes [main] as virtual processor 0 and returns when all
@@ -50,7 +68,16 @@ val run :
     long benchmark is expensive, use it on diagnostic runs.  Without
     [perturb] the schedule is the canonical one — byte-identical across
     runs of the same program; with it, the schedule is perturbed as
-    described at {!type-perturbation} (still deterministic per seed). *)
+    described at {!type-perturbation} (still deterministic per seed).
+
+    [fast_path] (default [true]) enables the scheduler's run-ahead fast
+    path: a processor whose next event is strictly below the event heap's
+    minimum timestamp is resumed directly, skipping the heap round-trip.
+    This is an optimization only — it reproduces the canonical schedule
+    exactly (DESIGN.md §S16 states the invariant) and is automatically
+    disabled under [perturb], whose jitter re-keys events.  Setting it to
+    [false] forces every event through the heap; the determinism golden
+    test pins that both modes agree to the byte. *)
 
 (** The operations below may only be called from inside a processor (i.e.
     during {!run}); elsewhere they raise [Failure]. *)

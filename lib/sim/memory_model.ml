@@ -64,6 +64,18 @@ type kind = Read | Write | Swap
 
 type charge = { start : int; finish : int; hit : bool; queued : int }
 
+(* Mutable destination for [access_into]: the scheduler charges one of
+   these per simulated access, so the hot path must not allocate a fresh
+   [charge] record each time. *)
+type scratch = {
+  mutable c_start : int;
+  mutable c_finish : int;
+  mutable c_hit : bool;
+  mutable c_queued : int;
+}
+
+let make_scratch () = { c_start = 0; c_finish = 0; c_hit = false; c_queued = 0 }
+
 let fetch_latency config meta ~proc =
   if proc_node config ~proc = meta.home then config.local_fetch
   else config.remote_fetch
@@ -75,37 +87,52 @@ let miss_start sys meta ~now =
   sys.node_busy.(meta.home) <- start + sys.config.node_occupancy;
   start
 
-let access sys meta ~proc ~now kind =
+let[@inline] hit_into out ~now latency =
+  out.c_start <- now;
+  out.c_finish <- now + latency;
+  out.c_hit <- true;
+  out.c_queued <- 0
+
+let[@inline] miss_into out ~now ~start latency =
+  out.c_start <- start;
+  out.c_finish <- start + latency;
+  out.c_hit <- false;
+  out.c_queued <- start - now
+
+let access_into out sys meta ~proc ~now kind =
   let config = sys.config in
-  let cached =
-    meta.writer = proc
-    || (meta.writer = -1 && Repro_util.Bitset.mem meta.sharers proc)
-  in
   match kind with
-  | Read when cached ->
-    (* Hit: served by the processor's cache, no module traffic. *)
-    { start = now; finish = now + config.cache_hit; hit = true; queued = 0 }
   | Read ->
-    let start = miss_start sys meta ~now in
-    let latency = fetch_latency config meta ~proc in
-    meta.busy_until <- start + config.occupancy;
-    (* Line becomes shared: a previous exclusive owner is downgraded. *)
-    if meta.writer >= 0 then begin
-      Repro_util.Bitset.add meta.sharers meta.writer;
-      meta.writer <- -1
-    end;
-    Repro_util.Bitset.add meta.sharers proc;
-    { start; finish = start + latency; hit = false; queued = start - now }
-  | Write when meta.writer = proc ->
-    (* Exclusive owner writes in cache. *)
-    { start = now; finish = now + config.cache_hit; hit = true; queued = 0 }
+    if
+      meta.writer = proc
+      || (meta.writer = -1 && Repro_util.Bitset.mem meta.sharers proc)
+    then
+      (* Hit: served by the processor's cache, no module traffic. *)
+      hit_into out ~now config.cache_hit
+    else begin
+      let start = miss_start sys meta ~now in
+      let latency = fetch_latency config meta ~proc in
+      meta.busy_until <- start + config.occupancy;
+      (* Line becomes shared: a previous exclusive owner is downgraded. *)
+      if meta.writer >= 0 then begin
+        Repro_util.Bitset.add meta.sharers meta.writer;
+        meta.writer <- -1
+      end;
+      Repro_util.Bitset.add meta.sharers proc;
+      miss_into out ~now ~start latency
+    end
   | Write ->
-    let start = miss_start sys meta ~now in
-    let latency = fetch_latency config meta ~proc in
-    meta.busy_until <- start + config.occupancy;
-    Repro_util.Bitset.clear meta.sharers;
-    meta.writer <- proc;
-    { start; finish = start + latency; hit = false; queued = start - now }
+    if meta.writer = proc then
+      (* Exclusive owner writes in cache. *)
+      hit_into out ~now config.cache_hit
+    else begin
+      let start = miss_start sys meta ~now in
+      let latency = fetch_latency config meta ~proc in
+      meta.busy_until <- start + config.occupancy;
+      Repro_util.Bitset.clear meta.sharers;
+      meta.writer <- proc;
+      miss_into out ~now ~start latency
+    end
   | Swap ->
     (* RMW always serializes at the module, even for the owner: it is the
        point where concurrent SWAPs order themselves. *)
@@ -118,4 +145,11 @@ let access sys meta ~proc ~now kind =
     meta.busy_until <- start + config.occupancy + config.swap_extra;
     Repro_util.Bitset.clear meta.sharers;
     meta.writer <- proc;
-    { start; finish = start + latency; hit = false; queued = start - now }
+    miss_into out ~now ~start latency
+
+let access sys meta ~proc ~now kind =
+  (* Allocating convenience wrapper; tests and diagnostics only — the
+     scheduler goes through [access_into]. *)
+  let out = make_scratch () in
+  access_into out sys meta ~proc ~now kind;
+  { start = out.c_start; finish = out.c_finish; hit = out.c_hit; queued = out.c_queued }

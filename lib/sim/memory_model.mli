@@ -61,11 +61,26 @@ type charge = {
   queued : int;  (** cycles spent waiting for the memory module *)
 }
 
-val access : system -> meta -> proc:int -> now:int -> kind -> charge
-(** [access sys meta ~proc ~now kind] charges one access by processor
-    [proc] whose local clock reads [now], updating the location's coherence
-    and queueing state.  Must be called in nondecreasing [now] order across
+type scratch = {
+  mutable c_start : int;
+  mutable c_finish : int;
+  mutable c_hit : bool;
+  mutable c_queued : int;
+}
+(** Mutable destination for {!access_into} — the scheduler reuses one per
+    simulation so the per-access hot path allocates nothing. *)
+
+val make_scratch : unit -> scratch
+
+val access_into : scratch -> system -> meta -> proc:int -> now:int -> kind -> unit
+(** [access_into out sys meta ~proc ~now kind] charges one access by
+    processor [proc] whose local clock reads [now], updating the
+    location's coherence and queueing state and writing the resulting
+    charge into [out].  Must be called in nondecreasing [now] order across
     all processors (the simulator scheduler guarantees this). *)
+
+val access : system -> meta -> proc:int -> now:int -> kind -> charge
+(** Allocating wrapper over {!access_into}, for tests and diagnostics. *)
 
 val home_node : config -> id:int -> int
 val proc_node : config -> proc:int -> int

@@ -103,7 +103,7 @@ module Rank_oracle = struct
     rank
 end
 
-let run ?config ?perturb (impl : Queue_adapter.impl) w =
+let run ?config ?perturb ?fast_path (impl : Queue_adapter.impl) w =
   if w.procs < 1 then invalid_arg "Benchmark.run: procs < 1";
   if w.insert_ratio < 0.0 || w.insert_ratio > 1.0 then
     invalid_arg "Benchmark.run: insert_ratio outside [0, 1]";
@@ -121,7 +121,7 @@ let run ?config ?perturb (impl : Queue_adapter.impl) w =
   let final_size = ref 0 in
   let queue_stats = ref [] in
   let report =
-    Machine.run ?config ?perturb (fun () ->
+    Machine.run ?config ?perturb ?fast_path (fun () ->
         let q = impl.Queue_adapter.create () in
         let root_rng = Rng.of_seed w.seed in
         for i = 0 to w.initial_size - 1 do

@@ -9,9 +9,15 @@ type result = {
   data : (string * (float * float * float) list) list;
 }
 
-type options = { scale : float; max_procs_log2 : int; progress : string -> unit }
+type options = {
+  scale : float;
+  max_procs_log2 : int;
+  progress : string -> unit;
+  jobs : int;
+}
 
-let default_options = { scale = 1.0; max_procs_log2 = 8; progress = ignore }
+let default_options =
+  { scale = 1.0; max_procs_log2 = 8; progress = ignore; jobs = 1 }
 
 let to_csv r =
   let buf = Buffer.create 1024 in
@@ -40,9 +46,11 @@ let render r =
 let scaled options n = Int.max 400 (int_of_float (float_of_int n *. options.scale))
 let proc_counts options = List.init (options.max_procs_log2 + 1) (fun i -> 1 lsl i)
 
-(* Run one implementation across the processor sweep. *)
+(* Run one implementation across the processor sweep.  Points are
+   independent simulations, so they fan out over [options.jobs] domains
+   (identical results either way — see Jobs). *)
 let sweep options ~impl ~workload_of =
-  List.map
+  Jobs.map ~jobs:options.jobs
     (fun procs ->
       options.progress (Printf.sprintf "%s @ %d procs" impl.Queue_adapter.name procs);
       (procs, Benchmark.run impl (workload_of procs)))
@@ -151,7 +159,7 @@ let fig2 options =
   let works = [ 100; 1000; 2000; 3000; 4000; 5000; 6000 ] in
   let impl = Queue_adapter.Sim.skipqueue () in
   let measurements =
-    List.map
+    Jobs.map ~jobs:options.jobs
       (fun work ->
         options.progress (Printf.sprintf "fig2: work=%d" work);
         let w =
@@ -345,7 +353,7 @@ let rank_table ~series =
    count — the MultiQueue's shard count scales with the processors it
    serves. *)
 let sweep_per_procs options ~name ~impl_of ~workload_of =
-  List.map
+  Jobs.map ~jobs:options.jobs
     (fun procs ->
       options.progress (Printf.sprintf "%s @ %d procs" name procs);
       (procs, Benchmark.run (impl_of procs) (workload_of procs)))
@@ -620,7 +628,7 @@ let ablation_memory_model options =
   let w = base_workload options ~procs ~initial:50 ~ops:7_000 ~insert_ratio:0.5 ~work:100 in
   let cell = Table.float_cell ~decimals:0 in
   let measurements =
-    List.map
+    Jobs.map ~jobs:options.jobs
       (fun (cname, config) ->
         ( cname,
           List.map

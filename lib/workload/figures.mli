@@ -25,11 +25,16 @@ val to_csv : result -> string
 type options = {
   scale : float;  (** multiplies operation counts; 1.0 = paper scale *)
   max_procs_log2 : int;  (** sweep 2^0 .. 2^max; the paper uses 8 *)
-  progress : string -> unit;  (** called before each simulator run *)
+  progress : string -> unit;
+      (** called before each simulator run; with [jobs > 1] calls may
+          interleave across concurrent points *)
+  jobs : int;
+      (** domains running independent sweep points concurrently (see
+          {!Jobs.map}); results are identical for any value *)
 }
 
 val default_options : options
-(** scale 1.0, 2^0..2^8, silent. *)
+(** scale 1.0, 2^0..2^8, silent, 1 job. *)
 
 val fig2 : options -> result
 (** Insert/Delete-min latency vs. local work (100..6000 cycles), 256

@@ -235,6 +235,22 @@ let test_mini_sweep_clean () =
         (List.map (fun v -> v.Harness.check ^ ": " ^ v.Harness.message) s.Harness.violations))
     summaries
 
+(* DESIGN.md §S16: a sweep fanned out over domains must produce the very
+   summary the sequential sweep does — same event counts, same verdicts,
+   in the same order. *)
+let test_sweep_jobs_identity () =
+  let impls = List.map (QA.find QA.Sim) [ "skipqueue"; "relaxedskipqueue" ] in
+  let seeds = Harness.seeds ~start:1L ~count:6 in
+  let strip (s : Harness.summary) =
+    ( s.Harness.impl,
+      s.Harness.runs,
+      s.Harness.events,
+      List.map (fun v -> (v.Harness.seed, v.Harness.check, v.Harness.message)) s.Harness.violations
+    )
+  in
+  let run jobs = List.map strip (Harness.sweep ~profile:small_profile ~jobs impls seeds) in
+  check "jobs=4 sweep equals jobs=1 sweep" true (run 1 = run 4)
+
 let test_broken_queue_caught () =
   let seeds = Harness.seeds ~start:1L ~count:3 in
   let s = Harness.sweep_impl (Broken.skipqueue ()) seeds in
@@ -281,6 +297,7 @@ let () =
           Alcotest.test_case "deterministic per seed" `Quick test_harness_deterministic;
           Alcotest.test_case "records full histories" `Quick test_harness_records;
           Alcotest.test_case "mini sweep clean" `Quick test_mini_sweep_clean;
+          Alcotest.test_case "parallel sweep identical" `Quick test_sweep_jobs_identity;
           Alcotest.test_case "broken queue caught" `Quick test_broken_queue_caught;
           Alcotest.test_case "broken elimination caught" `Quick test_broken_elim_caught;
         ] );

@@ -13,18 +13,121 @@ let check_bool = Alcotest.(check bool)
 
 (* --- event queue -------------------------------------------------------- *)
 
+(* The queue's payload is (proc, thunk); tests use the proc field as the
+   observable payload and no-op thunks. *)
+let eq_insert q ~time ~seq payload =
+  Event_queue.insert q ~time ~seq ~proc:payload (fun () -> ())
+
+let eq_pop q =
+  if Event_queue.pop q then
+    Some (Event_queue.popped_time q, Event_queue.popped_proc q)
+  else None
+
 let test_event_queue_order () =
   let q = Event_queue.create () in
-  Event_queue.insert q (5, 1) "a";
-  Event_queue.insert q (3, 2) "b";
-  Event_queue.insert q (5, 0) "c";
-  Alcotest.(check (option (pair (pair int int) string)))
-    "min time first" (Some ((3, 2), "b")) (Event_queue.pop_min q);
-  Alcotest.(check (option (pair (pair int int) string)))
-    "sequence breaks ties" (Some ((5, 0), "c")) (Event_queue.pop_min q);
-  Alcotest.(check (option (pair (pair int int) string)))
-    "last" (Some ((5, 1), "a")) (Event_queue.pop_min q);
-  check_bool "empty" true (Event_queue.pop_min q = None)
+  eq_insert q ~time:5 ~seq:1 10;
+  eq_insert q ~time:3 ~seq:2 20;
+  eq_insert q ~time:5 ~seq:0 30;
+  Alcotest.(check (option (pair int int)))
+    "min time first" (Some (3, 20)) (eq_pop q);
+  Alcotest.(check (option (pair int int)))
+    "sequence breaks ties" (Some (5, 30)) (eq_pop q);
+  Alcotest.(check (option (pair int int))) "last" (Some (5, 10)) (eq_pop q);
+  check_bool "empty" true (eq_pop q = None);
+  check_int "empty min_time is the sentinel" max_int (Event_queue.min_time q)
+
+let test_event_queue_fifo_at_equal_times () =
+  (* Same-timestamp events must come back in sequence (insertion) order —
+     the FIFO tie-break the canonical schedule depends on. *)
+  let q = Event_queue.create () in
+  let n = 64 in
+  (* interleave two timestamps to exercise tie-breaking under mixing *)
+  for i = 0 to n - 1 do
+    eq_insert q ~time:7 ~seq:(2 * i) (100 + i);
+    eq_insert q ~time:9 ~seq:((2 * i) + 1) (200 + i)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option (pair int int)))
+      (Printf.sprintf "time-7 FIFO slot %d" i)
+      (Some (7, 100 + i))
+      (eq_pop q)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check (option (pair int int)))
+      (Printf.sprintf "time-9 FIFO slot %d" i)
+      (Some (9, 200 + i))
+      (eq_pop q)
+  done;
+  check_bool "drained" true (Event_queue.is_empty q)
+
+let test_event_queue_growth () =
+  (* Push far past the initial capacity, with a descending-time pattern so
+     every insert sifts to the root, then check a full sorted drain. *)
+  let q = Event_queue.create ~initial_capacity:8 () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    eq_insert q ~time:(n - i) ~seq:i i
+  done;
+  check_int "all retained" n (Event_queue.length q);
+  for expect = 1 to n do
+    match eq_pop q with
+    | Some (t, _) -> check_int (Printf.sprintf "pop %d" expect) expect t
+    | None -> Alcotest.failf "queue empty after %d pops" (expect - 1)
+  done;
+  check_bool "empty at the end" true (Event_queue.is_empty q)
+
+let test_event_queue_qcheck_model =
+  (* Pop order must equal a lexicographic sort of the inserted keys, for
+     any interleaving of inserts and pops.  Keys are deduplicated: the
+     order among equal (time, seq) keys is unspecified. *)
+  QCheck.Test.make ~count:200 ~name:"event queue agrees with sorted-list model"
+    QCheck.(
+      list (pair (pair small_nat small_nat) (option small_nat)))
+    (fun script ->
+      let q = Event_queue.create ~initial_capacity:8 () in
+      let module M = Map.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let model = ref M.empty in
+      let id = ref 0 in
+      List.for_all
+        (fun ((time, seq), pop_too) ->
+          let insert_ok =
+            if M.mem (time, seq) !model then true (* skip duplicate keys *)
+            else begin
+              incr id;
+              eq_insert q ~time ~seq !id;
+              model := M.add (time, seq) !id !model;
+              true
+            end
+          in
+          let pop_ok =
+            match pop_too with
+            | None -> true
+            | Some _ -> (
+              match (eq_pop q, M.min_binding_opt !model) with
+              | None, None -> true
+              | Some (t, v), Some (((mt, _) as key), mv) ->
+                model := M.remove key !model;
+                t = mt && v = mv
+              | Some _, None | None, Some _ -> false)
+          in
+          insert_ok && pop_ok
+          && Event_queue.length q = M.cardinal !model)
+        script
+      &&
+      (* full drain agrees with the model's sorted order *)
+      let rec drain () =
+        match (eq_pop q, M.min_binding_opt !model) with
+        | None, None -> true
+        | Some (t, v), Some (((mt, _) as key), mv) ->
+          model := M.remove key !model;
+          t = mt && v = mv && drain ()
+        | Some _, None | None, Some _ -> false
+      in
+      drain ())
 
 (* --- memory model ------------------------------------------------------- *)
 
@@ -231,6 +334,115 @@ let test_deadlock_detection () =
                   Machine.lock_acquire a)));
        false
      with Machine.Deadlock _ -> true)
+
+let test_deadlock_diagnostic_names_locks () =
+  (* Two processors each park on a lock whose holder exits without
+     releasing; the Deadlock message must name the locks and list the
+     parked processor ids. *)
+  match
+    Machine.run (fun () ->
+        let outer = Machine.lock_create ~name:"outer" () in
+        let inner = Machine.lock_create ~name:"inner" () in
+        Machine.lock_acquire outer;
+        Machine.lock_acquire inner;
+        Machine.spawn (fun () -> Machine.lock_acquire outer);
+        Machine.spawn (fun () -> Machine.lock_acquire inner);
+        Machine.spawn (fun () ->
+            Machine.work 10_000;
+            Machine.lock_acquire inner))
+  with
+  | (_ : Machine.report) -> Alcotest.fail "expected Deadlock"
+  | exception Machine.Deadlock msg ->
+    let contains sub =
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "counts parked" true (contains "3 processor(s) parked");
+    check_bool "names outer with its waiter" true
+      (contains "\"outer\" held by 0, waited on by [1]");
+    check_bool "names inner with both waiters in park order" true
+      (contains "\"inner\" held by 0, waited on by [2; 3]")
+
+(* Lock accounting consistency, pinned: [lock_acquisitions] counts grants
+   (immediate acquire, handoff to a parked waiter, successful try) and
+   [lock_try_failures] counts failed tries, so that
+   attempts = acquisitions + try_failures.  The schedule: the root holds
+   the lock; P1 parks on acquire (contention, granted later at handoff);
+   P2 try-fails twice while the root still holds it, then try-succeeds
+   after the handoff chain is done. *)
+let test_lock_attempt_accounting_pinned () =
+  let tried = ref [] in
+  let report =
+    Machine.run ~config:Memory_model.sequential (fun () ->
+        let lock = Machine.lock_create ~name:"acct" () in
+        Machine.lock_acquire lock;
+        Machine.spawn (fun () ->
+            (* parks behind the root *)
+            Machine.lock_acquire lock;
+            Machine.work 10;
+            Machine.lock_release lock);
+        Machine.spawn (fun () ->
+            tried := Machine.lock_try_acquire lock :: !tried;
+            tried := Machine.lock_try_acquire lock :: !tried;
+            Machine.work 10_000;
+            tried := Machine.lock_try_acquire lock :: !tried;
+            Machine.lock_release lock);
+        Machine.work 100;
+        Machine.lock_release lock)
+  in
+  Alcotest.(check (list bool)) "try outcomes" [ true; false; false ] !tried;
+  (* grants: root's immediate acquire, handoff to P1, P2's final try *)
+  check_int "acquisitions count grants only" 3 report.Machine.lock_acquisitions;
+  check_int "contentions count parked attempts" 1 report.Machine.lock_contentions;
+  check_int "failed tries counted separately" 2 report.Machine.lock_try_failures
+
+(* The determinism golden test for the run-ahead fast path: a fixed mixed
+   workload (spawning, work, reads/writes/swaps/CAS, get_time, contended
+   blocking locks, try-locks) must produce the identical report and the
+   byte-identical event trace with the fast path force-disabled vs
+   enabled — the §S16 invariant, pinned. *)
+let mixed_workload () =
+  let cells = Array.init 4 (fun _ -> Sim_rt.shared 0) in
+  let lock = Machine.lock_create ~name:"golden" () in
+  for p = 0 to 11 do
+    Machine.spawn (fun () ->
+        for i = 0 to 19 do
+          Machine.work ((p * 31) mod 97);
+          let c = cells.((p + i) mod 4) in
+          (match i mod 5 with
+          | 0 -> ignore (Sim_rt.read c)
+          | 1 -> Sim_rt.write c i
+          | 2 -> ignore (Sim_rt.swap c p)
+          | 3 -> ignore (Sim_rt.cas c (Sim_rt.read c) i)
+          | _ -> ignore (Machine.get_time ()));
+          if i mod 7 = 0 then begin
+            Machine.lock_acquire lock;
+            Machine.work 5;
+            Machine.lock_release lock
+          end
+          else if i mod 11 = 0 then begin
+            if Machine.lock_try_acquire lock then Machine.lock_release lock
+          end
+        done)
+  done
+
+let trace_fingerprint_run ~fast_path =
+  let buf = Buffer.create 4096 in
+  let sink e =
+    Buffer.add_string buf (Format.asprintf "%a@." Repro_sim.Trace.pp_event e)
+  in
+  let report = Machine.run ~tracer:sink ~fast_path mixed_workload in
+  (Buffer.contents buf, report)
+
+let test_fast_path_golden_determinism () =
+  let trace_on, on = trace_fingerprint_run ~fast_path:true in
+  let trace_off, off = trace_fingerprint_run ~fast_path:false in
+  Alcotest.(check string) "byte-identical traces" trace_off trace_on;
+  check_bool "identical reports" true (on = off);
+  (* sanity: the workload actually exercised the interesting paths *)
+  check_bool "some events" true (on.Machine.events > 500);
+  check_bool "some contention" true (on.Machine.lock_contentions > 0)
 
 let test_determinism () =
   let run () =
@@ -514,7 +726,14 @@ let () =
   Alcotest.run "sim"
     [
       ( "event-queue",
-        [ Alcotest.test_case "ordering" `Quick test_event_queue_order ] );
+        [
+          Alcotest.test_case "ordering" `Quick test_event_queue_order;
+          Alcotest.test_case "FIFO at equal times" `Quick
+            test_event_queue_fifo_at_equal_times;
+          Alcotest.test_case "growth past initial capacity" `Quick
+            test_event_queue_growth;
+          QCheck_alcotest.to_alcotest test_event_queue_qcheck_model;
+        ] );
       ( "memory-model",
         [
           Alcotest.test_case "read caching" `Quick test_memory_read_caching;
@@ -535,6 +754,12 @@ let () =
           Alcotest.test_case "FIFO fairness" `Quick test_lock_fifo_fairness;
           Alcotest.test_case "release by non-holder" `Quick test_release_by_non_holder_fails;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "deadlock diagnostic names locks" `Quick
+            test_deadlock_diagnostic_names_locks;
+          Alcotest.test_case "lock attempt accounting pinned" `Quick
+            test_lock_attempt_accounting_pinned;
+          Alcotest.test_case "fast-path golden determinism" `Quick
+            test_fast_path_golden_determinism;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "perturbation determinism" `Quick test_perturb_determinism;
           Alcotest.test_case "lock-wait accounting pinned" `Quick

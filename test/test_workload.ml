@@ -7,6 +7,7 @@ module Stats = Repro_util.Stats
 module Benchmark = Repro_workload.Benchmark
 module Native_bench = Repro_workload.Native_bench
 module Figures = Repro_workload.Figures
+module Jobs = Repro_workload.Jobs
 module QA = Repro_workload.Queue_adapter
 
 let check = Alcotest.(check bool)
@@ -252,7 +253,7 @@ let test_registry_instances_work () =
 (* --- figures machinery ----------------------------------------------------- *)
 
 let tiny_options =
-  { Figures.scale = 0.005; max_procs_log2 = 2; progress = ignore }
+  { Figures.scale = 0.005; max_procs_log2 = 2; progress = ignore; jobs = 1 }
 
 let test_every_figure_runs () =
   List.iter
@@ -267,6 +268,25 @@ let test_every_figure_runs () =
 let test_figure_determinism () =
   let run () = (Figures.fig6 tiny_options).Figures.body in
   Alcotest.(check string) "fig6 deterministic" (run ()) (run ())
+
+(* DESIGN.md §S16: sweep points are independent simulations, so fanning
+   them out over domains must leave the rendered figure byte-identical. *)
+let test_figure_jobs_identity () =
+  let run jobs = Figures.render (Figures.fig7 { tiny_options with Figures.jobs }) in
+  Alcotest.(check string) "fig7 jobs=4 equals jobs=1" (run 1) (run 4)
+
+(* Jobs.map itself: order, identity with List.map, error propagation. *)
+let test_jobs_map () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * x) - x in
+  Alcotest.(check (list int)) "ordered results" (List.map f xs) (Jobs.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "inline path" (List.map f xs) (Jobs.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Jobs.map ~jobs:4 f []);
+  match Jobs.map ~jobs:3 (fun x -> if x >= 5 then failwith (string_of_int x) else x) xs with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+    (* the lowest-index failure wins, as a sequential run would report *)
+    Alcotest.(check string) "first error re-raised" "5" msg
 
 (* --- native bench ----------------------------------------------------------- *)
 
@@ -413,6 +433,8 @@ let () =
         [
           Alcotest.test_case "every figure runs" `Slow test_every_figure_runs;
           Alcotest.test_case "figure determinism" `Quick test_figure_determinism;
+          Alcotest.test_case "parallel figure identical" `Quick test_figure_jobs_identity;
+          Alcotest.test_case "jobs map semantics" `Quick test_jobs_map;
         ] );
       ( "native-bench",
         [ Alcotest.test_case "runs and accounts" `Quick test_native_bench_runs ] );
