@@ -179,9 +179,12 @@ let micro_tests =
    (1% of the ops, processors 1..32) — the configuration the scheduler
    run-ahead fast path (DESIGN.md §S16) is gated on.  Each mode runs the
    full SkipQueue + Relaxed sweep [runs] times and reports host seconds
-   per sweep plus simulated events and memory accesses retired per host
-   second.  Results are byte-identical in both modes; only the host time
-   moves.  [--json PATH] writes the numbers for CI artifacts. *)
+   per sweep, simulated events and memory accesses retired per host
+   second, and the host GC cost per sweep (minor words, promoted words,
+   major collections) — the flat-state metric DESIGN.md §S17 tracks.
+   Results are byte-identical in both modes; only the host cost moves.
+   [--json PATH] appends the numbers to a run-history JSON array for CI
+   artifacts, so the perf trajectory accumulates across commits. *)
 
 let fig7_bench_workload procs =
   {
@@ -194,61 +197,124 @@ let fig7_bench_workload procs =
     seed = 42L;
   }
 
-let sim_throughput ~runs ~json =
+type sweep_cost = {
+  seconds : float;
+  events : int;
+  accesses : int;
+  minor_words : float;  (** per sweep *)
+  promoted_words : float;  (** per sweep *)
+  major_collections : float;  (** per sweep *)
+}
+
+let measure_sweep ~runs ~fast_path =
   let module QA = Repro_workload.Queue_adapter in
   let module B = Repro_workload.Benchmark in
   let impls = [ QA.find QA.Sim "SkipQueue"; QA.find QA.Sim "Relaxed SkipQueue" ] in
   let procs = [ 1; 2; 4; 8; 16; 32 ] in
-  let measure ~fast_path =
-    let events = ref 0 and accesses = ref 0 in
-    let t0 = Sys.time () in
-    for _ = 1 to runs do
-      (* deterministic: every repetition retires the same counts *)
-      events := 0;
-      accesses := 0;
-      List.iter
-        (fun impl ->
-          List.iter
-            (fun p ->
-              let m = B.run ~fast_path impl (fig7_bench_workload p) in
-              events := !events + m.B.machine.Machine.events;
-              accesses := !accesses + m.B.machine.Machine.accesses)
-            procs)
-        impls
-    done;
-    let per_run = (Sys.time () -. t0) /. float_of_int runs in
-    (per_run, !events, !accesses)
+  let events = ref 0 and accesses = ref 0 in
+  let gc0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
+  for _ = 1 to runs do
+    (* deterministic: every repetition retires the same counts *)
+    events := 0;
+    accesses := 0;
+    List.iter
+      (fun impl ->
+        List.iter
+          (fun p ->
+            let m = B.run ~fast_path impl (fig7_bench_workload p) in
+            events := !events + m.B.machine.Machine.events;
+            accesses := !accesses + m.B.machine.Machine.accesses)
+          procs)
+      impls
+  done;
+  let dt = Sys.time () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  let per_run x = x /. float_of_int runs in
+  {
+    seconds = per_run dt;
+    events = !events;
+    accesses = !accesses;
+    minor_words = per_run (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+    promoted_words = per_run (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
+    major_collections =
+      per_run (float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
+  }
+
+(* [BENCH_sim.json] is an appendable run history: a JSON array with one
+   entry per bench invocation, so the perf trajectory accumulates across
+   PRs instead of being overwritten.  A pre-existing single-object file
+   (the PR 4 format) is absorbed as the history's first entry. *)
+let append_history path entry =
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      String.trim s
+    end
+    else ""
   in
-  let on_s, events, accesses = measure ~fast_path:true in
-  let off_s, _, _ = measure ~fast_path:false in
+  let body =
+    if existing = "" || existing = "[]" then Printf.sprintf "[\n%s\n]\n" entry
+    else if existing.[0] = '[' then begin
+      (* strip the closing bracket, append *)
+      let upto = String.rindex existing ']' in
+      let prefix = String.trim (String.sub existing 0 upto) in
+      Printf.sprintf "%s,\n%s\n]\n" prefix entry
+    end
+    else (* PR 4 single-object format *)
+      Printf.sprintf "[\n%s,\n%s\n]\n" existing entry
+  in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc
+
+let sim_throughput ~runs ~label ~json =
+  let on = measure_sweep ~runs ~fast_path:true in
+  let off = measure_sweep ~runs ~fast_path:false in
   let rate n s = float_of_int n /. s in
   print_endline "=== simulator throughput: fig7 sweep, bench scale ===";
-  Printf.printf "%-22s %12s %16s %18s\n" "scheduler" "s/sweep" "events/s" "accesses/s";
-  Printf.printf "%-22s %12.4f %16.0f %18.0f\n" "fast path on" on_s (rate events on_s)
-    (rate accesses on_s);
-  Printf.printf "%-22s %12.4f %16.0f %18.0f\n" "fast path off" off_s (rate events off_s)
-    (rate accesses off_s);
+  Printf.printf "%-22s %12s %16s %18s %16s %10s %8s\n" "scheduler" "s/sweep"
+    "events/s" "accesses/s" "minor-w/sweep" "promoted" "majors";
+  let line name c =
+    Printf.printf "%-22s %12.4f %16.0f %18.0f %16.0f %10.0f %8.1f\n" name c.seconds
+      (rate c.events c.seconds)
+      (rate c.accesses c.seconds)
+      c.minor_words c.promoted_words c.major_collections
+  in
+  line "fast path on" on;
+  line "fast path off" off;
   Printf.printf "fast-path speedup: %.2fx (%d simulated events, %d accesses per sweep)\n"
-    (off_s /. on_s) events accesses;
-  match json with
+    (off.seconds /. on.seconds) on.events on.accesses;
+  (match json with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    Printf.fprintf oc
-      {|{
-  "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed)",
-  "runs_per_mode": %d,
-  "simulated_events_per_sweep": %d,
-  "simulated_accesses_per_sweep": %d,
-  "fast_path_on": { "seconds_per_sweep": %.6f, "events_per_sec": %.0f, "accesses_per_sec": %.0f },
-  "fast_path_off": { "seconds_per_sweep": %.6f, "events_per_sec": %.0f, "accesses_per_sec": %.0f },
-  "fast_path_speedup": %.3f
-}
-|}
-      runs events accesses on_s (rate events on_s) (rate accesses on_s) off_s
-      (rate events off_s) (rate accesses off_s) (off_s /. on_s);
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+    let mode c =
+      Printf.sprintf
+        {|{ "seconds_per_sweep": %.6f, "events_per_sec": %.0f, "accesses_per_sec": %.0f, "minor_words_per_sweep": %.0f, "promoted_words_per_sweep": %.0f, "major_collections_per_sweep": %.1f }|}
+        c.seconds (rate c.events c.seconds) (rate c.accesses c.seconds)
+        c.minor_words c.promoted_words c.major_collections
+    in
+    let entry =
+      Printf.sprintf
+        {|  {
+    "label": %S,
+    "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed)",
+    "runs_per_mode": %d,
+    "simulated_events_per_sweep": %d,
+    "simulated_accesses_per_sweep": %d,
+    "fast_path_on": %s,
+    "fast_path_off": %s,
+    "fast_path_speedup": %.3f
+  }|}
+        label runs on.events on.accesses (mode on) (mode off)
+        (off.seconds /. on.seconds)
+    in
+    append_history path entry;
+    Printf.printf "appended run %S to %s\n" label path);
+  on
 
 (* --- driver ---------------------------------------------------------------- *)
 
@@ -287,6 +353,8 @@ let () =
   let json = ref None in
   let sim_only = ref false in
   let runs = ref 5 in
+  let label = ref "dev" in
+  let max_minor_words = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -298,12 +366,33 @@ let () =
     | "--sim-runs" :: n :: rest ->
       runs := int_of_string n;
       parse rest
+    | "--label" :: l :: rest ->
+      label := l;
+      parse rest
+    | "--max-minor-words" :: n :: rest ->
+      (* CI allocation budget: fail if the fast-path-on sweep allocates
+         more minor words than this (allocation counts are stable on a
+         1-core container, unlike wall time). *)
+      max_minor_words := Some (float_of_string n);
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %S (known: --json PATH, --sim-only, --sim-runs N)\n" arg;
+      Printf.eprintf
+        "unknown argument %S (known: --json PATH, --sim-only, --sim-runs N, \
+         --label NAME, --max-minor-words N)\n"
+        arg;
       Stdlib.exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  sim_throughput ~runs:!runs ~json:!json;
+  let on = sim_throughput ~runs:!runs ~label:!label ~json:!json in
+  (match !max_minor_words with
+  | Some budget when on.minor_words > budget ->
+    Printf.eprintf "allocation budget exceeded: %.0f minor words/sweep > %.0f\n"
+      on.minor_words budget;
+    Stdlib.exit 1
+  | Some budget ->
+    Printf.printf "allocation budget ok: %.0f minor words/sweep <= %.0f\n"
+      on.minor_words budget
+  | None -> ());
   if !sim_only then Stdlib.exit 0;
   print_newline ();
   print_endline "=== bechamel: host-time per benchmark ===";

@@ -1,20 +1,82 @@
 module O = Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
 module Machine = Repro_sim.Machine
 
-type t = { mutable rev_events : O.event list; mutable count : int }
+(* Events are recorded into preallocated per-processor int buffers — seven
+   columns per event: global sequence number, processor, tag (0 = insert,
+   1 = delete returning Some, 2 = delete returning None), key, id,
+   invoked, responded — and only flattened back into [O.event] records at
+   quiescence, when [events] is called.  The hot recording path therefore
+   allocates nothing once a processor's buffer has reached its working
+   size (it doubles geometrically), which is what lets bin/check.exe seed
+   sweeps record millions of events without paying a cons per operation.
+   The per-event sequence numbers are dense, so the flush places each
+   event at its own index — the exact recording order, no sort needed. *)
 
-let create () = { rev_events = []; count = 0 }
+let slots = 4096 (* power of two; processor ids fold into it *)
+let columns = 7
 
-let record t event =
-  t.rev_events <- event :: t.rev_events;
-  t.count <- t.count + 1
+type t = {
+  bufs : int array array; (* per-slot rows of [columns] ints *)
+  lens : int array; (* rows used per slot *)
+  mutable seq : int; (* total events = next global sequence number *)
+}
 
-let events t = List.rev t.rev_events
-let length t = t.count
+let create () = { bufs = Array.make slots [||]; lens = Array.make slots 0; seq = 0 }
+
+let ensure_row t idx =
+  let buf = t.bufs.(idx) in
+  let need = (t.lens.(idx) + 1) * columns in
+  if need <= Array.length buf then buf
+  else begin
+    let grown = Array.make (Int.max (64 * columns) (2 * Array.length buf)) 0 in
+    Array.blit buf 0 grown 0 (Array.length buf);
+    t.bufs.(idx) <- grown;
+    grown
+  end
+
+let record t ~proc ~tag ~key ~id ~invoked ~responded =
+  let idx = proc land (slots - 1) in
+  let buf = ensure_row t idx in
+  let base = t.lens.(idx) * columns in
+  buf.(base) <- t.seq;
+  buf.(base + 1) <- proc;
+  buf.(base + 2) <- tag;
+  buf.(base + 3) <- key;
+  buf.(base + 4) <- id;
+  buf.(base + 5) <- invoked;
+  buf.(base + 6) <- responded;
+  t.seq <- t.seq + 1;
+  t.lens.(idx) <- t.lens.(idx) + 1
+
+let length t = t.seq
+
+let events t =
+  if t.seq = 0 then []
+  else begin
+    let dummy =
+      { O.proc = 0; op = O.Delete_min { result = None }; invoked = 0; responded = 0 }
+    in
+    let out = Array.make t.seq dummy in
+    Array.iteri
+      (fun idx buf ->
+        for row = 0 to t.lens.(idx) - 1 do
+          let b = row * columns in
+          let op =
+            match buf.(b + 2) with
+            | 0 -> O.Insert { key = buf.(b + 3); id = buf.(b + 4) }
+            | 1 -> O.Delete_min { result = Some (buf.(b + 3), buf.(b + 4)) }
+            | _ -> O.Delete_min { result = None }
+          in
+          out.(buf.(b)) <-
+            { O.proc = buf.(b + 1); op; invoked = buf.(b + 5); responded = buf.(b + 6) }
+        done)
+      t.bufs;
+    Array.to_list out
+  end
 
 (* Timestamps come from [Machine.probe_time] (free of simulated charge) and
-   the event list is host state, mutated only between simulator effects —
-   so recording perturbs neither the schedule nor the cycle counts. *)
+   the buffers are host state, mutated only between simulator effects — so
+   recording perturbs neither the schedule nor the cycle counts. *)
 let wrap t (q : Repro_workload.Queue_adapter.instance) =
   {
     q with
@@ -23,24 +85,15 @@ let wrap t (q : Repro_workload.Queue_adapter.instance) =
         let proc = Machine.self () in
         let invoked = Machine.probe_time () in
         q.Repro_workload.Queue_adapter.insert key id;
-        record t
-          {
-            O.proc;
-            op = O.Insert { key; id };
-            invoked;
-            responded = Machine.probe_time ();
-          });
+        record t ~proc ~tag:0 ~key ~id ~invoked ~responded:(Machine.probe_time ()));
     delete_min =
       (fun () ->
         let proc = Machine.self () in
         let invoked = Machine.probe_time () in
         let result = q.Repro_workload.Queue_adapter.delete_min () in
-        record t
-          {
-            O.proc;
-            op = O.Delete_min { result };
-            invoked;
-            responded = Machine.probe_time ();
-          };
+        let tag, key, id =
+          match result with Some (k, i) -> (1, k, i) | None -> (2, 0, 0)
+        in
+        record t ~proc ~tag ~key ~id ~invoked ~responded:(Machine.probe_time ());
         result);
   }

@@ -7,6 +7,11 @@
     host-side state, so recording costs no simulated cycles and cannot
     change the schedule — the recorded run {e is} the measured run.
 
+    Recording is allocation-free at steady state: events land in
+    preallocated per-processor int buffers (seven columns per event) that
+    grow geometrically, and are only materialized as {!O.event} records
+    when {!events} flushes them at quiescence (DESIGN.md §S17).
+
     The harness uses the element's payload value as its unique identity
     ([O.Insert.id]); callers of {!wrap} must insert unique values. *)
 

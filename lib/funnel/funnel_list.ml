@@ -6,9 +6,20 @@ struct
 
   type 'v outcome = Pending | Done of (K.t * 'v) option
   type 'v op = Ins of K.t * 'v | Del
-  type 'v request = { op : 'v op; state : 'v outcome R.shared }
+  type 'v request = { mutable op : 'v op; state : 'v outcome R.shared }
 
-  type 'v t = { first : 'v node R.shared; funnel : 'v request Funnel.t }
+  type 'v t = {
+    first : 'v node R.shared;
+    funnel : 'v request Funnel.t;
+    (* Per-processor request scratch: once [Funnel.perform] returns, no
+       token group references the request any more (groups are emptied
+       before [apply] runs), so the next operation of the same processor
+       can reuse the record.  The state cell is re-registered with
+       [R.refresh], drawing the fresh location id the per-op allocation
+       used to draw — bit-identical to allocating anew. *)
+    reqs : 'v request option array;
+    reqs_mutex : Mutex.t;
+  }
 
   let kind_of req = match req.op with Ins _ -> 0 | Del -> 1
   let is_done req = R.read req.state <> Pending
@@ -74,6 +85,8 @@ struct
       in
       hand_out batch taken
 
+  let req_slots = 4096 (* power of two; processor ids fold into it *)
+
   let create ?layer_widths ?collision_window () =
     let first = R.shared Nil in
     let rec t =
@@ -84,16 +97,34 @@ struct
             Funnel.create ?layer_widths ?collision_window
               ~apply:(fun batch -> apply (Lazy.force t) batch)
               ~is_done ~kind_of ();
+          reqs = Array.make req_slots None;
+          reqs_mutex = Mutex.create ();
         }
     in
     Lazy.force t
 
-  let insert t key value =
-    let req = { op = Ins (key, value); state = R.shared Pending } in
-    Funnel.perform t.funnel req
+  (* The calling processor's request record, lazily created (the mutex
+     only guards creation and is never held across a runtime operation). *)
+  let req_for t op =
+    let idx = R.self () land (req_slots - 1) in
+    match t.reqs.(idx) with
+    | Some req ->
+      req.op <- op;
+      R.refresh req.state Pending;
+      req
+    | None ->
+      let req = { op; state = R.shared Pending } in
+      Mutex.lock t.reqs_mutex;
+      (match t.reqs.(idx) with
+      | None -> t.reqs.(idx) <- Some req
+      | Some _ -> ());
+      Mutex.unlock t.reqs_mutex;
+      req
+
+  let insert t key value = Funnel.perform t.funnel (req_for t (Ins (key, value)))
 
   let delete_min t =
-    let req = { op = Del; state = R.shared Pending } in
+    let req = req_for t Del in
     Funnel.perform t.funnel req;
     match R.read req.state with
     | Done result -> result

@@ -14,9 +14,25 @@ struct
     capacity : int; (* max element count *)
     heap_lock : R.lock;
     heap_size : int R.shared; (* protected by heap_lock *)
+    moving : tag array; (* per-processor [Moving pid] scratch, see below *)
   }
 
   exception Full
+
+  let tag_slots = 4096 (* power of two; processor ids fold into it *)
+
+  (* Every insert tags its item [Moving pid]; the tag value is compared
+     structurally, never by identity, so one cached block per processor
+     serves all of that processor's inserts instead of a fresh
+     allocation per operation. *)
+  let moving_for t pid =
+    let idx = pid land (tag_slots - 1) in
+    match t.moving.(idx) with
+    | Moving m as tag when m = pid -> tag
+    | Empty | Available | Moving _ ->
+      let tag = Moving pid in
+      t.moving.(idx) <- tag;
+      tag
 
   let create ?(capacity = 65536) () =
     if capacity < 1 then invalid_arg "Hunt_heap.create: capacity < 1";
@@ -41,6 +57,7 @@ struct
       capacity;
       heap_lock = R.lock_create ~name:"heap" ();
       heap_size = R.shared 0;
+      moving = Array.make tag_slots Empty;
     }
 
   let size t = R.read t.heap_size
@@ -79,7 +96,7 @@ struct
     R.release t.heap_lock;
     R.write t.slots.(!i).key (Some key);
     R.write t.slots.(!i).value (Some value);
-    R.write t.slots.(!i).tag (Moving pid);
+    R.write t.slots.(!i).tag (moving_for t pid);
     R.release t.slots.(!i).lock;
     (* Bubble up, chasing the item if a concurrent delete moved it. *)
     while !i > 1 do
@@ -102,13 +119,13 @@ struct
       | Empty, _ ->
         (* The item was consumed (extracted as "last") by a delete. *)
         i := 0
-      | _, tag when tag <> Moving pid ->
-        (* Someone swapped our item upwards; chase it. *)
-        i := parent
-      | _, _ ->
+      | _, Moving m when m = pid ->
         (* Parent in transit by another insert; retry at the same position
            (the published algorithm spins here too). *)
-        ());
+        ()
+      | _, _ ->
+        (* Someone swapped our item upwards; chase it. *)
+        i := parent);
       R.release t.slots.(old_i).lock;
       R.release t.slots.(parent).lock
     done;

@@ -9,6 +9,10 @@ let write = Atomic.set
 let swap = Atomic.exchange
 let cas = Atomic.compare_and_set
 
+(* Reinitializing a quiescent cell is just a store natively; the
+   distinction from [write] only matters on the simulator. *)
+let refresh = Atomic.set
+
 type lock = Mutex.t
 
 let lock_create ?name () =
@@ -18,6 +22,7 @@ let lock_create ?name () =
 let acquire = Mutex.lock
 let release = Mutex.unlock
 let try_acquire = Mutex.try_lock
+let lock_refresh (_ : lock) = ()
 
 let clock = Atomic.make 1
 

@@ -28,6 +28,18 @@ module type S = sig
   val read : 'a shared -> 'a
   val write : 'a shared -> 'a -> unit
 
+  val refresh : 'a shared -> 'a -> unit
+  (** [refresh cell v] reinitializes [cell] as if it had just been
+      allocated by [shared v]: on the simulator the cell is re-registered
+      as a brand-new memory location (fresh line id, empty coherence
+      state) and the initializing store of [v] is free of simulated
+      charge, exactly like [shared]; on the native runtime it is a plain
+      store.  The caller must guarantee quiescent reuse — no other
+      processor can reach the cell (e.g. a node recycled through safe
+      memory reclamation).  This is the hook that lets object pools reuse
+      host storage without perturbing simulated cycle counts: a recycled
+      cell behaves bit-identically to a freshly allocated one. *)
+
   val swap : 'a shared -> 'a -> 'a
   (** Atomic register-to-memory swap: writes the new value and returns the
       previous one, in a single atomic step.  The only universal primitive
@@ -47,6 +59,11 @@ module type S = sig
   val lock_create : ?name:string -> unit -> lock
   val acquire : lock -> unit
   val release : lock -> unit
+
+  val lock_refresh : lock -> unit
+  (** Reinitialize a free, unwatched lock as if freshly created (fresh
+      lock-word location on the simulator; no-op natively).  Same
+      quiescent-reuse obligation as {!refresh}. *)
 
   val try_acquire : lock -> bool
   (** Non-blocking acquire: takes the lock and returns [true] if it was

@@ -41,15 +41,24 @@ val sequential : config
     tests that want logical time only. *)
 
 type system
-(** One simulated memory system: the config plus per-node module queues. *)
+(** One simulated memory system: the config, the per-node module queues,
+    and the line directory — a structure of arrays indexed by line id
+    (writer / home / busy_until as flat int columns, sharer sets as
+    packed bitmap rows in one flat array).  The columns grow
+    geometrically; registering a line or charging an access never
+    allocates (DESIGN.md §S17). *)
 
 val make_system : config -> system
 val system_config : system -> config
 
 type meta
-(** Per-location bookkeeping: home node, coherence state, line queue. *)
+(** A location's handle: its line id into the system's directory.  An
+    immediate value — allocating a location costs nothing on the host. *)
 
 val make_meta : system -> id:int -> meta
+(** Registers line [id] in the directory (growing it if needed) with
+    fresh coherence state: no writer, no sharers, line free. *)
+
 val location_id : meta -> int
 
 type kind = Read | Write | Swap
@@ -84,3 +93,18 @@ val access : system -> meta -> proc:int -> now:int -> kind -> charge
 
 val home_node : config -> id:int -> int
 val proc_node : config -> proc:int -> int
+
+(** {2 Directory inspection}
+
+    Plain-data views of one line's coherence state, for the model tests
+    (test_sim drives the directory and a record-based reference through
+    identical access sequences and asserts equal state). *)
+
+val writer_of : system -> meta -> int
+(** Exclusive owner's processor id, or [-1] when the line is shared/idle. *)
+
+val sharers_of : system -> meta -> int list
+(** Processors holding the line in shared state, ascending. *)
+
+val busy_until_of : system -> meta -> int
+(** The line-level queue: when the line's module is next free. *)

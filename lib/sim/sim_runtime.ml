@@ -1,8 +1,16 @@
-type 'a shared = { mutable v : 'a; meta : Memory_model.meta }
+type 'a shared = { mutable v : 'a; mutable meta : Memory_model.meta }
 
 let shared ?name v =
   ignore name;
   { v; meta = Machine.alloc_meta () }
+
+(* Quiescent reuse: re-register the cell as a brand-new location.  The
+   fresh line id is drawn from the same counter as [shared], so a pooled
+   cell's refresh consumes exactly the id a fresh allocation would have —
+   recycled structures stay bit-identical to freshly built ones. *)
+let refresh cell v =
+  cell.meta <- Machine.alloc_meta ();
+  cell.v <- v
 
 let read cell =
   Machine.access cell.meta Memory_model.Read;
@@ -32,6 +40,7 @@ let cas cell expected v =
 type lock = Machine.lock
 
 let lock_create ?name () = Machine.lock_create ?name ()
+let lock_refresh = Machine.lock_refresh
 let acquire = Machine.lock_acquire
 let release = Machine.lock_release
 let try_acquire = Machine.lock_try_acquire

@@ -38,6 +38,16 @@ struct
     rngs : Repro_util.Rng.t option array; (* per-processor level streams *)
     rngs_mutex : Mutex.t;
     seed : int64;
+    preds : 'v node array option array; (* per-processor find_preds scratch *)
+    (* Free lists of physically removed nodes, one per node height, fed by
+       the reclamation finalizer (so a pooled node is guaranteed
+       unreachable) and drained by [insert].  Host-side state guarded by a
+       host mutex: never touched between simulator effects of one
+       operation, so it cannot perturb the schedule. *)
+    pool : 'v node list array;
+    pool_mutex : Mutex.t;
+    mutable pool_returned : int; (* nodes the finalizer handed back *)
+    mutable pool_recycled : int; (* pooled nodes reissued by insert *)
     mutable hunt_steps : int;
     mutable swap_losses : int;
     mutable stale_skips : int;
@@ -78,6 +88,11 @@ struct
       rngs = Array.make rng_slots None;
       rngs_mutex = Mutex.create ();
       seed;
+      preds = Array.make rng_slots None;
+      pool = Array.make max_level [];
+      pool_mutex = Mutex.create ();
+      pool_returned = 0;
+      pool_recycled = 0;
       hunt_steps = 0;
       swap_losses = 0;
       stale_skips = 0;
@@ -85,6 +100,14 @@ struct
 
   let stats t =
     { hunt_steps = t.hunt_steps; swap_losses = t.swap_losses; stale_skips = t.stale_skips }
+
+  type pool_stats = { returned : int; recycled : int; pooled : int }
+
+  let pool_stats t =
+    Mutex.lock t.pool_mutex;
+    let pooled = Array.fold_left (fun acc l -> acc + List.length l) 0 t.pool in
+    Mutex.unlock t.pool_mutex;
+    { returned = t.pool_returned; recycled = t.pool_recycled; pooled }
 
   (* Per-processor level stream, derived deterministically from the queue
      seed and the processor id.  The mutex only guards lazy creation and is
@@ -120,10 +143,62 @@ struct
   let enter t = match t.reclamation with None -> () | Some r -> Reclaim.enter r
   let exit t = match t.reclamation with None -> () | Some r -> Reclaim.exit r
 
+  (* The finalizer runs only once no processor inside the structure can
+     still hold a pointer to the node (reclamation's guarantee), so the
+     node can go straight onto the free list of its height.  It stays
+     poisoned while pooled: any hunter that could still observe it would
+     trip the invariant checker. *)
   let retire t node =
     match t.reclamation with
     | None -> ()
-    | Some r -> Reclaim.retire r (fun () -> node.poisoned <- true)
+    | Some r ->
+      Reclaim.retire r (fun () ->
+          node.poisoned <- true;
+          Mutex.lock t.pool_mutex;
+          t.pool.(node.level - 1) <- node :: t.pool.(node.level - 1);
+          t.pool_returned <- t.pool_returned + 1;
+          Mutex.unlock t.pool_mutex)
+
+  (* Node arena: [insert] draws from the free list of the wanted height
+     before allocating.  A recycled node is re-registered cell by cell in
+     {e exactly} the order [make_node] + the [next] patch registers a
+     fresh node's locations, so it consumes the same fresh line ids and
+     the simulation stays bit-identical to one that never recycles. *)
+  let alloc_node t ~key ~value ~level =
+    let pooled =
+      match t.reclamation with
+      | None -> None
+      | Some _ ->
+        Mutex.lock t.pool_mutex;
+        let n =
+          match t.pool.(level - 1) with
+          | [] -> None
+          | n :: rest ->
+            t.pool.(level - 1) <- rest;
+            t.pool_recycled <- t.pool_recycled + 1;
+            Some n
+        in
+        Mutex.unlock t.pool_mutex;
+        n
+    in
+    match pooled with
+    | Some n ->
+      R.refresh n.key key;
+      R.refresh n.value value;
+      for i = 1 to level do
+        R.lock_refresh n.level_locks.(i - 1)
+      done;
+      R.lock_refresh n.node_lock;
+      R.refresh n.deleted false;
+      R.refresh n.stamp max_int;
+      for i = 1 to level do
+        R.refresh n.next.(i - 1) t.tail
+      done;
+      n.poisoned <- false;
+      n
+    | None ->
+      let n = make_node ~key ~value ~level () in
+      { n with next = Array.init level (fun _ -> R.shared t.tail) }
 
   (* Fig. 9's getLock: lock the level-[i] pointer of the rightmost node
      whose key is smaller than [bkey], revalidating after acquisition. *)
@@ -145,10 +220,29 @@ struct
     done;
     !node1
 
+  (* Per-processor predecessor buffer for [find_preds], created lazily
+     like the level-stream rngs.  One buffer per processor suffices: an
+     operation's search result is consumed before the same processor can
+     start another search (operations on one processor are sequential,
+     and no callee of a search's consumer re-enters [find_preds]). *)
+  let preds_for t =
+    let idx = R.self () land (rng_slots - 1) in
+    match t.preds.(idx) with
+    | Some saved -> saved
+    | None ->
+      let saved = Array.make t.max_level t.head in
+      Mutex.lock t.rngs_mutex;
+      (match t.preds.(idx) with
+      | None -> t.preds.(idx) <- Some saved
+      | Some _ -> ());
+      Mutex.unlock t.rngs_mutex;
+      (match t.preds.(idx) with Some saved -> saved | None -> assert false)
+
   (* Top-down search recording the rightmost node with key < bkey at every
-     level (Fig. 10 lines 1-9, Fig. 11 lines 15-23). *)
+     level (Fig. 10 lines 1-9, Fig. 11 lines 15-23).  Fills and returns
+     the calling processor's scratch buffer — no per-search allocation. *)
   let find_preds t bkey =
-    let saved = Array.make t.max_level t.head in
+    let saved = preds_for t in
     let node1 = ref t.head in
     for i = t.max_level downto 1 do
       let node2 = ref (read_next !node1 i) in
@@ -175,10 +269,7 @@ struct
       end
       else begin
         let level = random_level t in
-        let new_node =
-          let n = make_node ~key:bkey ~value:(Some value) ~level () in
-          { n with next = Array.init level (fun _ -> R.shared t.tail) }
-        in
+        let new_node = alloc_node t ~key:bkey ~value:(Some value) ~level in
         R.acquire new_node.node_lock;
         let node1 = ref node1 in
         for i = 1 to level do

@@ -127,4 +127,18 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
   val stats : 'v t -> op_stats
   (** Cumulative since creation.  Updated with plain (unmodelled) writes —
       costs nothing on the simulator; approximate under native races. *)
+
+  type pool_stats = {
+    returned : int;  (** nodes the reclamation finalizer freed into the pool *)
+    recycled : int;  (** pooled nodes reissued by inserts *)
+    pooled : int;  (** nodes currently waiting in the free lists *)
+  }
+
+  val pool_stats : 'v t -> pool_stats
+  (** The node arena's free-list counters.  Non-zero only when the queue
+      was created with [~reclamation]: the free list is fed exclusively by
+      the reclamation finalizer, whose guarantee (no live pointer to the
+      node exists) is exactly what makes reuse safe.  A recycled node is
+      re-registered location by location in fresh-allocation order, so
+      recycling never changes simulated cycle counts (DESIGN.md §S17). *)
 end

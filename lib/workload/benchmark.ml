@@ -54,13 +54,26 @@ module Rank_oracle = struct
     range : int;
   }
 
+  (* The Fenwick array is [range + 1] words — 8 MB at the benchmarks'
+     default 2^20 key range, far beyond the minor heap, so allocating one
+     per run is pure major-heap churn (a dozen runs per fig7 sweep turned
+     into ~100 MB of dead 8 MB arrays and a major collection apiece).
+     Runs on one domain reuse a pooled array per range instead; [release]
+     below returns it zeroed.  Domain-local so concurrent sweep domains
+     never share a tree. *)
+  let pool : (int, int array) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
   let create ~range =
-    {
-      tree = Array.make (range + 1) 0;
-      counts = Hashtbl.create 1024;
-      debts = Hashtbl.create 64;
-      range;
-    }
+    let pool = Domain.DLS.get pool in
+    let tree =
+      match Hashtbl.find_opt pool range with
+      | Some tree ->
+        Hashtbl.remove pool range;
+        tree
+      | None -> Array.make (range + 1) 0
+    in
+    { tree; counts = Hashtbl.create 1024; debts = Hashtbl.create 64; range }
 
   let add t k delta =
     let i = ref (k + 1) in
@@ -101,6 +114,16 @@ module Rank_oracle = struct
     end
     else set t.debts k (get t.debts k + 1);
     rank
+
+  (* Return the tree to the pool zeroed.  Only [add] writes the tree, and
+     an insert/delete pair of the same key walks the same update path, so
+     the array equals the sum of the live keys' paths: subtracting each
+     remaining count restores all-zero in O(live · log range) instead of
+     an O(range) sweep. *)
+  let release t =
+    Hashtbl.iter (fun k c -> if c <> 0 then add t k (-c)) t.counts;
+    let pool = Domain.DLS.get pool in
+    if not (Hashtbl.mem pool t.range) then Hashtbl.add pool t.range t.tree
 end
 
 let run ?config ?perturb ?fast_path (impl : Queue_adapter.impl) w =
@@ -177,6 +200,7 @@ let run ?config ?perturb ?fast_path (impl : Queue_adapter.impl) w =
             final_size := count 0;
             queue_stats := q.Queue_adapter.stats ()))
   in
+  Rank_oracle.release oracle;
   let merge arr = Array.fold_left Stats.merge (Stats.create ()) arr in
   let insert_latency = merge insert_stats in
   let delete_latency = merge delete_stats in

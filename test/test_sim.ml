@@ -189,6 +189,152 @@ let test_memory_sequential_config_is_flat () =
   check_int "uniform cost a" 1 (a.finish - a.start);
   check_int "uniform cost b" 1 (b.finish - b.start)
 
+(* Record-based reference for the flat line directory (§S17): one heap
+   record per line with an explicit sharer list — the representation the
+   directory had before it was flattened into columns.  The qcheck model
+   test drives both through random register/access sequences and demands
+   identical charges and identical per-line coherence state. *)
+module Dir_reference = struct
+  type line = {
+    home : int;
+    mutable writer : int; (* -1 when none *)
+    mutable busy_until : int;
+    mutable sharers : int list; (* ascending *)
+  }
+
+  type t = {
+    cfg : Memory_model.config;
+    node_busy : int array;
+    lines : (int, line) Hashtbl.t;
+  }
+
+  let make cfg =
+    { cfg; node_busy = Array.make cfg.Memory_model.numa_nodes 0; lines = Hashtbl.create 64 }
+
+  let register t id =
+    Hashtbl.replace t.lines id
+      { home = id mod t.cfg.Memory_model.numa_nodes; writer = -1; busy_until = 0; sharers = [] }
+
+  let line t id = Hashtbl.find t.lines id
+  let add_sharer l p = if not (List.mem p l.sharers) then l.sharers <- List.sort compare (p :: l.sharers)
+
+  let fetch_latency cfg ~home ~proc =
+    if proc mod cfg.Memory_model.numa_nodes = home then cfg.Memory_model.local_fetch
+    else cfg.Memory_model.remote_fetch
+
+  let miss_start t l ~now =
+    let start = Int.max now (Int.max l.busy_until t.node_busy.(l.home)) in
+    t.node_busy.(l.home) <- start + t.cfg.Memory_model.node_occupancy;
+    start
+
+  (* (start, finish, hit, queued), mirroring Memory_model's documented
+     semantics over the record representation. *)
+  let access t id ~proc ~now kind =
+    let cfg = t.cfg in
+    let l = line t id in
+    match (kind : Memory_model.kind) with
+    | Read ->
+      if l.writer = proc || (l.writer = -1 && List.mem proc l.sharers) then
+        (now, now + cfg.Memory_model.cache_hit, true, 0)
+      else begin
+        let start = miss_start t l ~now in
+        let latency = fetch_latency cfg ~home:l.home ~proc in
+        l.busy_until <- start + cfg.Memory_model.occupancy;
+        if l.writer >= 0 then begin
+          add_sharer l l.writer;
+          l.writer <- -1
+        end;
+        add_sharer l proc;
+        (start, start + latency, false, start - now)
+      end
+    | Write ->
+      if l.writer = proc then (now, now + cfg.Memory_model.cache_hit, true, 0)
+      else begin
+        let start = miss_start t l ~now in
+        let latency = fetch_latency cfg ~home:l.home ~proc in
+        l.busy_until <- start + cfg.Memory_model.occupancy;
+        l.sharers <- [];
+        l.writer <- proc;
+        (start, start + latency, false, start - now)
+      end
+    | Swap ->
+      let start = miss_start t l ~now in
+      let latency =
+        (if l.writer = proc then cfg.Memory_model.cache_hit
+         else fetch_latency cfg ~home:l.home ~proc)
+        + cfg.Memory_model.swap_extra
+      in
+      l.busy_until <- start + cfg.Memory_model.occupancy + cfg.Memory_model.swap_extra;
+      l.sharers <- [];
+      l.writer <- proc;
+      (start, start + latency, false, start - now)
+end
+
+let test_memory_qcheck_against_reference =
+  (* Random register/access scripts through both the flat directory and
+     the record-based reference: every charge and, afterwards, every
+     line's writer/sharers/busy-until must agree.  Line ids include two
+     far beyond the initial capacity so the script exercises the columns'
+     geometric growth. *)
+  let cfg = { Memory_model.default with max_procs = 96; numa_nodes = 7 } in
+  let line_ids = [| 0; 1; 2; 3; 5; 8; 13; 21; 34; 55; 20_000; 70_000 |] in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 120)
+        (triple (int_range 0 (Array.length line_ids - 1)) (int_range 0 95) (int_range 0 3)))
+  in
+  let print script =
+    String.concat ";"
+      (List.map (fun (l, p, k) -> Printf.sprintf "(%d,%d,%d)" l p k) script)
+  in
+  QCheck.Test.make ~count:150 ~name:"flat directory agrees with record reference"
+    (QCheck.make ~print gen)
+    (fun script ->
+      let sys = Memory_model.make_system cfg in
+      let reference = Dir_reference.make cfg in
+      let registered = Hashtbl.create 16 in
+      let clock = ref 0 in
+      let ensure id =
+        if not (Hashtbl.mem registered id) then begin
+          Hashtbl.replace registered id (Memory_model.make_meta sys ~id);
+          Dir_reference.register reference id
+        end
+      in
+      List.for_all
+        (fun (l, proc, op) ->
+          let id = line_ids.(l) in
+          ensure id;
+          if op = 3 then begin
+            (* Re-register: the line forgets its coherence state. *)
+            Hashtbl.replace registered id (Memory_model.make_meta sys ~id);
+            Dir_reference.register reference id;
+            true
+          end
+          else begin
+            let kind =
+              match op with
+              | 0 -> Memory_model.Read
+              | 1 -> Memory_model.Write
+              | _ -> Memory_model.Swap
+            in
+            let now = !clock in
+            clock := now + 3;
+            let meta = Hashtbl.find registered id in
+            let c = Memory_model.access sys meta ~proc ~now kind in
+            let rs, rf, rh, rq = Dir_reference.access reference id ~proc ~now kind in
+            c.Memory_model.start = rs && c.finish = rf && c.hit = rh && c.queued = rq
+          end)
+        script
+      && Hashtbl.fold
+           (fun id meta ok ->
+             ok
+             &&
+             let l = Dir_reference.line reference id in
+             Memory_model.writer_of sys meta = l.Dir_reference.writer
+             && Memory_model.busy_until_of sys meta = l.Dir_reference.busy_until
+             && Memory_model.sharers_of sys meta = l.Dir_reference.sharers)
+           registered true)
+
 (* --- machine ------------------------------------------------------------ *)
 
 let test_work_advances_time () =
@@ -741,6 +887,7 @@ let () =
           Alcotest.test_case "hot-spot queueing" `Quick test_memory_hotspot_queues;
           Alcotest.test_case "swap ordering" `Quick test_memory_swap_orders;
           Alcotest.test_case "sequential config" `Quick test_memory_sequential_config_is_flat;
+          QCheck_alcotest.to_alcotest test_memory_qcheck_against_reference;
         ] );
       ( "machine",
         [

@@ -384,6 +384,82 @@ let test_reclamation_safety () =
     check_int "everything retired got reclaimed" 40 s.SQ_sim.Reclaim.reclaimed;
     check_int "nothing pending" 0 s.SQ_sim.Reclaim.pending
 
+let test_node_recycling_through_pool () =
+  (* Seeded churn with reclamation active, sized so the free list actually
+     cycles: deletions retire nodes, collector passes run concurrently with
+     the churn and feed the finalized nodes into the pool, and later
+     inserts draw them back out (pool_stats.recycled > 0).  Hunters walk
+     the bottom level (peek_min) and probe keys (find) throughout; a node
+     recycled too early — i.e. while a hunter could still reach it — would
+     surface either as a wrong find/peek answer during the run or as a
+     reachable poisoned node in the quiescent invariant check. *)
+  let pool = ref None in
+  let reclaimed = ref None in
+  let errors = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let recl = SQ_sim.Reclaim.create () in
+        let q = SQ_sim.create ~seed:99L ~reclamation:recl () in
+        for i = 0 to 63 do
+          ignore (SQ_sim.insert q i i)
+        done;
+        (* Churners: deletes retire the cheap initial keys while inserts
+           (distinct high keys, value = key) refill from the pool. *)
+        for p = 0 to 3 do
+          Machine.spawn (fun () ->
+              let rng = Rng.of_seed (Int64.of_int (100 + p)) in
+              for round = 0 to 39 do
+                Machine.work (Rng.int rng 400);
+                if round land 1 = 0 then ignore (SQ_sim.delete_min q)
+                else
+                  let key = ((p + 1) * 10_000) + round in
+                  ignore (SQ_sim.insert q key key)
+              done)
+        done;
+        (* Hunters: traverse concurrently; any resurrection of a pooled
+           node would hand them a poisoned/garbage binding. *)
+        for h = 0 to 1 do
+          Machine.spawn (fun () ->
+              let rng = Rng.of_seed (Int64.of_int (500 + h)) in
+              for _ = 0 to 59 do
+                Machine.work (Rng.int rng 300);
+                (match SQ_sim.peek_min q with
+                | None -> ()
+                | Some (k, v) ->
+                  if k <> v then
+                    errors := Printf.sprintf "peek saw %d -> %d" k v :: !errors);
+                let probe = Rng.int rng 64 in
+                match SQ_sim.find q probe with
+                | None -> ()
+                | Some v ->
+                  if v <> probe then
+                    errors := Printf.sprintf "find %d got %d" probe v :: !errors
+              done)
+        done;
+        (* Collector: frequent passes during the churn, then a final one. *)
+        Machine.spawn (fun () ->
+            for _ = 0 to 40 do
+              Machine.work 2_000;
+              ignore (SQ_sim.Reclaim.collect recl)
+            done;
+            Machine.work 10_000_000;
+            ignore (SQ_sim.Reclaim.collect recl);
+            (match SQ_sim.check_invariants q with
+            | Ok () -> ()
+            | Error e -> errors := e :: !errors);
+            reclaimed := Some (SQ_sim.Reclaim.stats recl).SQ_sim.Reclaim.reclaimed;
+            pool := Some (SQ_sim.pool_stats q)))
+  in
+  (match !errors with
+  | [] -> ()
+  | e :: _ -> Alcotest.fail e);
+  let pool = Option.get !pool in
+  check "collector reclaimed nodes" true (Option.get !reclaimed > 0);
+  check "finalizer fed the pool" true (pool.SQ_sim.returned > 0);
+  check "inserts drew recycled nodes" true (pool.SQ_sim.recycled > 0);
+  check "pool accounting consistent" true
+    (pool.SQ_sim.pooled = pool.SQ_sim.returned - pool.SQ_sim.recycled)
+
 (* --- qcheck model ------------------------------------------------------- *)
 
 (* Random op sequences against a replace-on-duplicate map model.  The
@@ -516,7 +592,11 @@ let () =
             test_map_concurrent_removes_unique;
         ] );
       ( "reclamation",
-        [ Alcotest.test_case "safe reclamation" `Quick test_reclamation_safety ] );
+        [
+          Alcotest.test_case "safe reclamation" `Quick test_reclamation_safety;
+          Alcotest.test_case "node recycling through the pool" `Quick
+            test_node_recycling_through_pool;
+        ] );
       ( "native",
         [
           Alcotest.test_case "sequential" `Quick test_native_sequential;
