@@ -144,7 +144,7 @@ let micro_tests =
                     Machine.spawn (fun () ->
                         for i = 0 to 63 do
                           if i land 1 = 0 then q.QA.insert ((i * 131) + p) i
-                          else ignore (q.QA.delete_min ())
+                          else ignore (q.QA.try_delete_min ())
                         done)
                   done))))
   in

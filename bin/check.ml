@@ -6,12 +6,21 @@
      dune exec bin/check.exe -- --seeds 50
      dune exec bin/check.exe -- --backend skipqueue --seeds 200 --jitter 48
      dune exec bin/check.exe -- --replay 17 --backend heap
+     dune exec bin/check.exe -- --blocking --seeds 25  # bounded façade under park/wake pressure
      dune exec bin/check.exe -- --broken        # torn-SWAP mutant; exit 0 iff caught
      dune exec bin/check.exe -- --broken elim   # lost-rendezvous elimination mutant
+     dune exec bin/check.exe -- --broken wakeup # lost-wakeup bounded façade mutant
+
+   --blocking switches to the producer/consumer harness: each selected
+   backend is wrapped in the bounded façade at the blocking profile's
+   capacity (8) and hammered through insert_wait/delete_min_wait, with
+   the blocking-aware checkers (park/wake nesting, capacity bound) added
+   to the suite.  Backend names may be given with or without their
+   "bounded:" prefix there.
 
    Exit status: 0 all clean, 1 violations found, 2 usage error.  Under
-   --broken the meaning flips: 0 the chosen mutant (swap | elim | all,
-   default swap) was caught, 1 it slipped through. *)
+   --broken the meaning flips: 0 the chosen mutant (swap | elim | wakeup |
+   all, default swap) was caught, 1 it slipped through. *)
 
 open Cmdliner
 module QA = Repro_workload.Queue_adapter
@@ -24,35 +33,65 @@ let pp_spec = function
   | QA.Relaxed -> "relaxed"
   | QA.Rank_bounded -> "rank-bounded"
 
-let select_impls backends broken =
+(* In --blocking mode a backend name selects the structure *inside* the
+   façade; tolerate the façade's own registry spelling too. *)
+let strip_bounded name =
+  let prefix = "bounded:" in
+  if String.length name >= String.length prefix
+     && String.lowercase_ascii (String.sub name 0 (String.length prefix)) = prefix
+  then String.sub name (String.length prefix) (String.length name - String.length prefix)
+  else name
+
+let blocking_defaults () =
+  [ QA.Sim.skipqueue (); QA.Sim.relaxed_skipqueue (); QA.Sim.hunt_heap ();
+    QA.Sim.multiqueue ~procs:16 () ]
+
+(* (impl, uses-blocking-harness) pairs for the sweep. *)
+let select_impls backends broken blocking ~capacity =
+  let wrap i = (QA.Sim.bounded ~capacity i, true) in
   match broken with
-  | Some "swap" -> [ Repro_check.Broken.skipqueue () ]
-  | Some "elim" -> [ Repro_check.Broken.elim_skipqueue () ]
-  | Some "all" -> [ Repro_check.Broken.skipqueue (); Repro_check.Broken.elim_skipqueue () ]
+  | Some "swap" -> [ (Repro_check.Broken.skipqueue (), false) ]
+  | Some "elim" -> [ (Repro_check.Broken.elim_skipqueue (), false) ]
+  | Some "wakeup" -> [ (Repro_check.Broken.bounded_skipqueue ~capacity (), true) ]
+  | Some "all" ->
+    [
+      (Repro_check.Broken.skipqueue (), false);
+      (Repro_check.Broken.elim_skipqueue (), false);
+      (Repro_check.Broken.bounded_skipqueue ~capacity (), true);
+    ]
   | Some other ->
-    Printf.eprintf "unknown mutant %S (known: swap, elim, all)\n" other;
+    Printf.eprintf "unknown mutant %S (known: swap, elim, wakeup, all)\n" other;
     Stdlib.exit 2
+  | None when blocking -> (
+    match backends with
+    | [] -> List.map wrap (blocking_defaults ())
+    | names -> (
+      try List.map (fun n -> wrap (QA.find QA.Sim (strip_bounded n))) names
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        Stdlib.exit 2))
   | None -> (
     match backends with
-    | [] -> QA.all QA.Sim
+    | [] -> List.map (fun i -> (i, false)) (QA.all QA.Sim)
     | names -> (
-      try List.map (QA.find QA.Sim) names
+      try List.map (fun n -> (QA.find QA.Sim n, false)) names
       with Invalid_argument msg ->
         Printf.eprintf "%s\n" msg;
         Stdlib.exit 2))
 
-let print_violation ~impl ~profile (v : Harness.violation) =
+let print_violation ~impl ~profile ~blocking (v : Harness.violation) =
   Printf.printf "  VIOLATION seed=%Ld check=%s\n    %s\n" v.Harness.seed v.Harness.check
     v.Harness.message;
-  Printf.printf "    replay: dune exec bin/check.exe -- --backend '%s' --replay %Ld%s\n" impl
-    v.Harness.seed
-    (if profile = Harness.default_profile then ""
+  Printf.printf "    replay: dune exec bin/check.exe -- %s--backend '%s' --replay %Ld%s\n"
+    (if blocking then "--blocking " else "")
+    impl v.Harness.seed
+    (if blocking || profile = Harness.default_profile then ""
      else
        Printf.sprintf " --procs %d --ops %d --jitter %d" profile.Harness.procs
          profile.Harness.ops_per_proc profile.Harness.jitter)
 
 let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mutant replay
-    quiet jobs =
+    blocking quiet jobs =
   let broken =
     if broken then Some (Option.value mutant ~default:"swap")
     else
@@ -71,16 +110,26 @@ let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mut
     }
   in
   let bounds = { Check.default_bounds with Check.max_rank; mean_rank } in
-  let impls = select_impls backends broken in
+  let bprofile = { Harness.default_blocking_profile with Harness.jitter } in
+  let impls =
+    select_impls backends broken blocking ~capacity:bprofile.Harness.capacity
+  in
   let seed_list =
     match replay with
     | Some s -> [ s ]
     | None -> Harness.seeds ~start:start_seed ~count:seeds
   in
-  let summaries = Harness.sweep ~bounds ~profile ~jobs impls seed_list in
+  let summaries =
+    List.map
+      (fun (impl, blk) ->
+        ( (if blk then Harness.sweep_blocking ~bounds ~profile:bprofile ~jobs impl seed_list
+           else Harness.sweep_impl ~bounds ~profile ~jobs impl seed_list),
+          blk ))
+      impls
+  in
   let total_violations = ref 0 in
   List.iter
-    (fun (s : Harness.summary) ->
+    (fun ((s : Harness.summary), blk) ->
       total_violations := !total_violations + List.length s.Harness.violations;
       if not quiet then
         Printf.printf "%-28s %-13s %4d seeds  %7d ops  %s\n" s.Harness.impl (pp_spec s.Harness.spec)
@@ -88,7 +137,9 @@ let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mut
           (match s.Harness.violations with
           | [] -> "ok"
           | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
-      List.iter (print_violation ~impl:s.Harness.impl ~profile) s.Harness.violations)
+      List.iter
+        (print_violation ~impl:s.Harness.impl ~profile ~blocking:blk)
+        s.Harness.violations)
     summaries;
   match broken with
   | Some mutant ->
@@ -112,8 +163,9 @@ let run seeds start_seed backends procs ops jitter max_rank mean_rank broken mut
     end
     else begin
       if not quiet then
-        Printf.printf "\nall clean: %d backend(s) x %d seed(s)\n" (List.length impls)
-          (List.length seed_list);
+        Printf.printf "\nall clean: %d backend(s) x %d seed(s)%s\n" (List.length impls)
+          (List.length seed_list)
+          (if blocking then " (blocking harness)" else "");
       0
     end
 
@@ -178,14 +230,26 @@ let broken =
           "Sweep an intentionally racy mutant instead; exit 0 only if the \
            checkers catch it (fuzzer self-test).  Takes an optional \
            positional mutant name: $(b,swap) (torn-SWAP SkipQueue, the \
-           default), $(b,elim) (lost-rendezvous elimination front end) or \
-           $(b,all).")
+           default), $(b,elim) (lost-rendezvous elimination front end), \
+           $(b,wakeup) (lost-wakeup bounded façade, swept under the \
+           blocking harness) or $(b,all).")
 
 let mutant =
   Arg.(
     value
     & pos 0 (some string) None
-    & info [] ~docv:"MUTANT" ~doc:"Mutant for $(b,--broken): swap, elim or all.")
+    & info [] ~docv:"MUTANT" ~doc:"Mutant for $(b,--broken): swap, elim, wakeup or all.")
+
+let blocking =
+  Arg.(
+    value & flag
+    & info [ "blocking" ]
+        ~doc:
+          "Sweep the blocking producer/consumer harness instead: each \
+           selected backend is wrapped in the bounded façade at capacity 8 \
+           and driven through $(b,insert_wait)/$(b,delete_min_wait), with \
+           the blocking-aware checkers added.  Default backends: skipqueue, \
+           relaxed skipqueue, heap, multiqueue.")
 
 let replay =
   Arg.(
@@ -210,6 +274,6 @@ let cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ seeds $ start_seed $ backends $ procs $ ops $ jitter $ max_rank $ mean_rank
-      $ broken $ mutant $ replay $ quiet $ jobs)
+      $ broken $ mutant $ replay $ blocking $ quiet $ jobs)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

@@ -82,7 +82,8 @@ let ids =
     "Experiments to run: fig2..fig8, multiqueue, ablation-funnel-front, \
      ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
      ablation-bounded-range, ablation-memory-model, ablation-elimination, \
-     'native' (real-domain sweep), or 'all' (every simulator experiment)."
+     scheduler (EDF jobs through the bounded/blocking façade), 'native' \
+     (real-domain sweep), or 'all' (every simulator experiment)."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 

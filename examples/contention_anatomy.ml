@@ -38,7 +38,7 @@ let run_traced (impl : QA.impl) =
               (* Phase 2: everyone deletes. *)
               for _ = 0 to ops_per_phase - 1 do
                 Machine.work 100;
-                ignore (q.QA.delete_min ())
+                ignore (q.QA.try_delete_min ())
               done)
         done)
   in

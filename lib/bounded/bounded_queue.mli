@@ -1,0 +1,72 @@
+(** Bounded/blocking façade over any int-keyed priority queue.
+
+    Wraps a backend's [insert] / [try_delete_min] closures with a capacity
+    bound and blocking entry points, in the classic two-lock shape: one
+    lock per end, an atomic size, and two condition variables —
+    [not_full] tied to the push lock, [not_empty] tied to the pop lock
+    (the bounded-queue design cited in ROADMAP.md).  Producers park when
+    the structure holds [capacity] elements; consumers park when it is
+    empty.  Signals are sent while holding the waiter's lock and chained
+    across same-side waiters, which is what makes the façade
+    lost-wakeup-free (DESIGN.md §18 gives the argument; the deliberate
+    counterexample is available as [broken_wakeup] for the fuzzer's
+    mutant sweep).
+
+    Ordering contract: the façade serializes consumers (one [pop_lock])
+    and producers (one [push_lock]) but adds no ordering of its own — a
+    [delete_min_wait] returns whatever the backend's [try_delete_min]
+    returns, so the wrapped structure keeps its own [spec]
+    (linearizable / quiescent / relaxed / rank-bounded) over the
+    elements currently admitted. *)
+
+module Make (R : Repro_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    capacity:int ->
+    ?dedups:bool ->
+    ?broken_wakeup:bool ->
+    ?name:string ->
+    insert:(int -> int -> unit) ->
+    try_delete_min:(unit -> (int * int) option) ->
+    unit ->
+    t
+  (** [create ~capacity ~insert ~try_delete_min ()] wraps the backend
+      closures.  [dedups] must be [true] when the backend absorbs inserts
+      of an already-present key as in-place updates (the SkipQueue
+      family): the façade then treats a backend-empty answer under a
+      positive size as a stale capacity credit and burns it, instead of
+      retrying.  [name] prefixes the internal lock/condition names
+      ([name.push], [name.pop], [name.not_full], [name.not_empty]) for
+      traces and deadlock diagnostics.  [broken_wakeup] (default false)
+      plants the classic lost-wakeup bug — cross-side signals sent
+      without the waiter's lock, no chain-signals — for checker
+      self-tests only.  Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val capacity : t -> int
+
+  val size : t -> int
+  (** Current element count as the façade accounts it (one shared read);
+      between operations of a quiescent moment it equals the number of
+      admitted-but-not-removed elements. *)
+
+  val insert_wait : t -> int -> int -> unit
+  (** Blocking insert: parks on [not_full] until the size drops below
+      [capacity], then inserts into the backend. *)
+
+  val try_delete_min : t -> (int * int) option
+  (** Non-blocking delete-min: [None] when the façade is empty. *)
+
+  val delete_min_wait : t -> int * int
+  (** Blocking delete-min: parks on [not_empty] until an element is
+      available.  Never returns on a façade that stays empty — on the
+      simulator a permanently parked consumer is reported by the deadlock
+      detector, naming [not_empty] and the pop lock. *)
+
+  val stats : t -> (string * float) list
+  (** Front-end counters: [parks] (consumer parks on [not_empty]),
+      [wakes] (signals sent on either condition), [backpressure_stalls]
+      (producer parks on [not_full]).  Exact on the simulator; updated
+      without extra synchronization natively, so mid-run readings are
+      approximate there. *)
+end

@@ -39,6 +39,24 @@ end
 
 module SQ = Repro_skipqueue.Skipqueue.Make (Torn_swap_runtime) (Repro_pqueue.Key.Int)
 
+(* Minimal instance plumbing for the mutants: blocking entry points fall
+   back to the same poll loop the adapter uses for unbounded backends. *)
+let mk_instance ~insert ~try_delete_min =
+  let rec poll_pop () =
+    match try_delete_min () with
+    | Some kv -> kv
+    | None ->
+      Repro_sim.Sim_runtime.yield ();
+      poll_pop ()
+  in
+  {
+    Repro_workload.Queue_adapter.insert;
+    insert_wait = insert;
+    try_delete_min;
+    delete_min_wait = poll_pop;
+    stats = (fun () -> []);
+  }
+
 let name = "BrokenSkipQueue"
 
 let skipqueue () =
@@ -50,11 +68,9 @@ let skipqueue () =
       (fun () ->
         reads := 0;
         let q = SQ.create ~mode:SQ.Strict () in
-        {
-          Repro_workload.Queue_adapter.insert = (fun k v -> ignore (SQ.insert q k v));
-          delete_min = (fun () -> SQ.delete_min q);
-          stats = (fun () -> []);
-        });
+        mk_instance
+          ~insert:(fun k v -> ignore (SQ.insert q k v))
+          ~try_delete_min:(fun () -> SQ.delete_min q));
   }
 
 (* The elimination mutant: a runtime whose CAS is torn into a read, a
@@ -102,9 +118,46 @@ let elim_skipqueue () =
           Elim.create ~mode:Elim.SQ.Strict ~slots:1 ~width:1 ~window:64
             ~max_window:64 ~poll_cycles:4 ~bound_every:1 ~adaptive:false ()
         in
+        mk_instance
+          ~insert:(fun k v -> ignore (Elim.insert q k v))
+          ~try_delete_min:(fun () -> Elim.delete_min q));
+  }
+
+(* The lost-wakeup mutant: the bounded façade with [broken_wakeup] set —
+   cross-side signals are sent without holding the waiter's lock and the
+   same-side chain-signals are dropped.  A consumer that has observed
+   [size = 0] but not yet parked misses the producer's signal forever;
+   with every consumer parked and all producers finished, the simulator's
+   deadlock detector fires, which the harness reports as an execution
+   violation for the seed. *)
+module GoodSQ =
+  Repro_skipqueue.Skipqueue.Make (Repro_sim.Sim_runtime) (Repro_pqueue.Key.Int)
+
+module Bounded = Repro_bounded.Bounded_queue.Make (Repro_sim.Sim_runtime)
+
+let wakeup_name = "BrokenBoundedSkipQueue"
+
+let bounded_skipqueue ?(capacity = 4) () =
+  {
+    Repro_workload.Queue_adapter.name = wakeup_name;
+    dedups = true;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        let q = GoodSQ.create ~mode:GoodSQ.Strict () in
+        let b =
+          Bounded.create ~capacity ~dedups:true ~broken_wakeup:true
+            ~name:"broken-bounded"
+            ~insert:(fun k v -> ignore (GoodSQ.insert q k v))
+            ~try_delete_min:(fun () -> GoodSQ.delete_min q)
+            ()
+        in
         {
-          Repro_workload.Queue_adapter.insert = (fun k v -> ignore (Elim.insert q k v));
-          delete_min = (fun () -> Elim.delete_min q);
-          stats = (fun () -> []);
+          Repro_workload.Queue_adapter.insert =
+            (fun k v -> Bounded.insert_wait b k v);
+          insert_wait = (fun k v -> Bounded.insert_wait b k v);
+          try_delete_min = (fun () -> Bounded.try_delete_min b);
+          delete_min_wait = (fun () -> Bounded.delete_min_wait b);
+          stats = (fun () -> Bounded.stats b);
         });
   }

@@ -26,3 +26,15 @@ val elim_skipqueue : unit -> Repro_workload.Queue_adapter.impl
     (an insert handed to a deleter that has already withdrawn, or two
     inserts matched to one deleter) drop elements; the conservation
     checker catches them ([bin/check --broken elim]).  Simulator-only. *)
+
+val wakeup_name : string
+
+val bounded_skipqueue :
+  ?capacity:int -> unit -> Repro_workload.Queue_adapter.impl
+(** The lost-wakeup mutant ([bin/check --broken wakeup]): a correct strict
+    SkipQueue behind the bounded façade with [broken_wakeup] planted —
+    cross-side signals sent without the waiter's lock, chain-signals
+    dropped.  Under the blocking producer/consumer harness a consumer
+    misses its wakeup and the run ends in the simulator's deadlock
+    detector (an execution violation).  [capacity] defaults to 4 so the
+    full/empty edges are crossed constantly.  Simulator-only. *)

@@ -8,6 +8,8 @@ type history = {
   seed : int64;
   events : O.event list; (* response order *)
   drained : (int * int) list; (* post-quiescence drain, in pop order *)
+  capacity : int option; (* bounded-façade capacity, when one was in force *)
+  spans : History.span list; (* operations that parked, with park/wake clocks *)
 }
 
 type verdict = Pass | Fail of string | Skip of string
@@ -310,6 +312,108 @@ let rank_envelope ?(bounds = default_bounds) h =
            mean !count bounds.mean_rank !worst)
     else Pass
 
+(* --- blocking-aware checks ------------------------------------------------ *)
+
+(* A delete that parked is a [delete_min_wait]: it may only return once an
+   element is available, so its result must be [Some], its park/wake
+   clocks must nest inside its invocation span, and the element it
+   returned must come from an insert that had started before the delete
+   responded.  (The stronger "inserted before the wake" is NOT sound: the
+   wake only means some element was available at signal time; between the
+   wake and the backend pop a smaller, newer element may land and be the
+   one returned.)  Inserts that parked are backpressure stalls; only the
+   clock-nesting condition applies to them. *)
+let blocking_wakeups h =
+  if h.spans = [] then Skip "no operation parked"
+  else begin
+    let insert_invoked = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        match e.O.op with
+        | O.Insert { id; _ } -> Hashtbl.replace insert_invoked id e.O.invoked
+        | O.Delete_min _ -> ())
+      h.events;
+    let bad =
+      List.find_map
+        (fun { History.event = e; parks; parked_at; woken_at } ->
+          if parks < 1 || parked_at < e.O.invoked || woken_at < parked_at
+             || e.O.responded < woken_at
+          then
+            Some
+              (Printf.sprintf
+                 "park/wake clocks escape the operation: invoked %d, parked %d, woken %d, responded %d"
+                 e.O.invoked parked_at woken_at e.O.responded)
+          else
+            match e.O.op with
+            | O.Insert _ -> None
+            | O.Delete_min { result = None } ->
+              Some "a blocked Delete-min returned EMPTY"
+            | O.Delete_min { result = Some (key, id) } -> (
+              match Hashtbl.find_opt insert_invoked id with
+              | None ->
+                Some
+                  (Printf.sprintf
+                     "blocked Delete-min returned key %d (id %d) that no recorded insert produced"
+                     key id)
+              | Some ins_invoked ->
+                if ins_invoked < e.O.responded then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "blocked Delete-min (responded %d) returned id %d whose insert only started at %d"
+                       e.O.responded id ins_invoked)))
+        h.spans
+    in
+    match bad with None -> Pass | Some m -> Fail m
+  end
+
+(* Sound capacity lower bound: by any time [T], every insert that has
+   responded was admitted, and at most (deletes responded with an element)
+   + (deletes in flight at [T]) elements can have been removed — so the
+   structure held at least [ins_resp - del_resp - del_inflight] elements.
+   If that exceeds the façade's capacity, the bound was violated.  (An
+   exact occupancy is not derivable from endpoint timestamps alone; this
+   conservative bound never false-positives.) *)
+let capacity_bound h =
+  match h.capacity with
+  | None -> Skip "no capacity bound in force"
+  | Some cap ->
+    let deletes =
+      List.filter_map
+        (fun e ->
+          match e.O.op with
+          | O.Delete_min { result = Some _ } -> Some (e.O.invoked, e.O.responded)
+          | O.Delete_min { result = None } | O.Insert _ -> None)
+        h.events
+    in
+    let inflight_at t =
+      List.fold_left
+        (fun acc (inv, resp) -> if inv <= t && resp > t then acc + 1 else acc)
+        0 deletes
+    in
+    let by_response =
+      List.sort (fun a b -> compare (a.O.responded, a.O.invoked) (b.O.responded, b.O.invoked))
+        h.events
+    in
+    let rec scan ins_resp del_resp = function
+      | [] -> Pass
+      | e :: rest -> (
+        match e.O.op with
+        | O.Insert _ ->
+          let ins_resp = ins_resp + 1 in
+          let t = e.O.responded in
+          let low = ins_resp - del_resp - inflight_at t in
+          if low > cap then
+            Fail
+              (Printf.sprintf
+                 "at time %d the structure provably held >= %d elements (capacity %d)"
+                 t low cap)
+          else scan ins_resp del_resp rest
+        | O.Delete_min { result = Some _ } -> scan ins_resp (del_resp + 1) rest
+        | O.Delete_min { result = None } -> scan ins_resp del_resp rest)
+    in
+    scan 0 0 by_response
+
 (* --- per-spec suites ------------------------------------------------------ *)
 
 let for_spec ?(bounds = default_bounds) spec =
@@ -339,7 +443,15 @@ let for_spec ?(bounds = default_bounds) spec =
       ]
   | QA.Rank_bounded -> common @ [ ("rank-envelope", rank_envelope ~bounds) ]
 
-let check_all ?bounds h = List.map (fun (name, f) -> (name, f h)) (for_spec ?bounds h.spec)
+(* Spec-independent: parking and capacity are façade properties, layered
+   over whatever ordering contract the inner structure claims. *)
+let blocking_suite =
+  [ ("blocking (park/wake)", blocking_wakeups); ("capacity-bound", capacity_bound) ]
+
+let check_all ?bounds h =
+  let suite = for_spec ?bounds h.spec in
+  let suite = if h.capacity <> None || h.spans <> [] then suite @ blocking_suite else suite in
+  List.map (fun (name, f) -> (name, f h)) suite
 
 let failures verdicts =
   List.filter_map

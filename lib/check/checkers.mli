@@ -19,6 +19,13 @@ type history = {
   events : O.event list;  (** in response (completion) order *)
   drained : (int * int) list;
       (** elements left in the structure after quiescence, in pop order *)
+  capacity : int option;
+      (** the bounded façade's capacity, when the run went through one —
+          enables {!capacity_bound}.  Must match the capacity the façade
+          was actually created with. *)
+  spans : History.span list;
+      (** {!History.park_spans}: operations that parked, with their
+          park/wake clocks — enables {!blocking_wakeups} *)
 }
 
 type verdict =
@@ -84,12 +91,30 @@ val rank_envelope : ?bounds:bounds -> history -> verdict
     smaller elements) exceeds [bounds.max_rank], or a run mean above
     [bounds.mean_rank]. *)
 
+val blocking_wakeups : history -> verdict
+(** Blocking-aware sanity over {!history.spans}: every parked operation's
+    park/wake clocks nest inside its invocation span; a delete that parked
+    (a [delete_min_wait]) returned [Some] element whose insert was invoked
+    before the delete responded.  ("Inserted before the wake" would be
+    unsound: a smaller element may land between the wake and the backend
+    pop and legitimately be the one returned.)  [Skip] when nothing
+    parked. *)
+
+val capacity_bound : history -> verdict
+(** For runs through a bounded façade ([capacity = Some c]): at every
+    insert response, the provable occupancy lower bound — inserts
+    responded minus deletes responded minus deletes in flight — must not
+    exceed [c].  Conservative (endpoint timestamps cannot give exact
+    occupancy), hence sound.  [Skip] when no capacity was in force. *)
+
 val for_spec :
   ?bounds:bounds -> Repro_workload.Queue_adapter.spec -> (string * (history -> verdict)) list
 (** The named suite a given correctness contract is held to. *)
 
 val check_all : ?bounds:bounds -> history -> (string * verdict) list
-(** [for_spec h.spec] applied to [h]. *)
+(** [for_spec h.spec] applied to [h], plus the blocking suite
+    ({!blocking_wakeups}, {!capacity_bound}) whenever the history carries
+    a capacity or any parked operation. *)
 
 val failures : (string * verdict) list -> (string * string) list
 (** Just the [Fail]s, as [(check-name, message)]. *)

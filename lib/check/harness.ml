@@ -52,7 +52,7 @@ let run_one ?(profile = default_profile) (impl : QA.impl) seed =
               for i = 0 to profile.ops_per_proc - 1 do
                 if Rng.int rng 1000 < int_of_float (profile.insert_ratio *. 1000.) then
                   hq.QA.insert (mk_key (Rng.int rng profile.key_range)) (((p + 1) * 100_000) + i)
-                else ignore (hq.QA.delete_min ());
+                else ignore (hq.QA.try_delete_min ());
                 Machine.work (1 + Rng.int rng 96)
               done)
         done;
@@ -60,7 +60,7 @@ let run_one ?(profile = default_profile) (impl : QA.impl) seed =
         Machine.spawn (fun () ->
             Machine.work (1 lsl 55);
             let rec go () =
-              match q.QA.delete_min () with
+              match q.QA.try_delete_min () with
               | Some kv ->
                 drained := kv :: !drained;
                 go ()
@@ -75,6 +75,109 @@ let run_one ?(profile = default_profile) (impl : QA.impl) seed =
     seed;
     events = History.events history;
     drained = List.rev !drained;
+    capacity = None;
+    spans = History.park_spans history;
+  }
+
+(* ---- blocking producer/consumer runs ------------------------------------ *)
+
+type blocking_profile = {
+  producers : int;
+  consumers : int;
+  items_per_producer : int;
+  capacity : int;
+  burst : int;
+  key_range : int;
+  jitter : int;
+}
+
+let default_blocking_profile =
+  {
+    producers = 4;
+    consumers = 2;
+    items_per_producer = 24;
+    capacity = 8;
+    burst = 6;
+    key_range = 256;
+    jitter = 24;
+  }
+
+(* One blocking execution: producers push their quota through [insert_wait]
+   in bursts (so the capacity-8 façade saturates and backpressure-parks
+   them), consumers pop through [delete_min_wait] (parking on empty).  The
+   consumer quotas split the total exactly, so a correct façade quiesces
+   with every processor finished and an empty structure; a façade that
+   loses a wakeup strands a parked processor, which the simulator's
+   deadlock detector turns into an exception — reported by the sweep as an
+   execution violation with a replayable seed. *)
+let run_blocking ?(profile = default_blocking_profile) (impl : QA.impl) seed =
+  if profile.producers < 1 then invalid_arg "Harness.run_blocking: producers < 1";
+  if profile.consumers < 1 then invalid_arg "Harness.run_blocking: consumers < 1";
+  let history = History.create () in
+  let drained = ref [] in
+  let tag = ref 0 in
+  let mk_key raw =
+    if impl.QA.dedups then begin
+      incr tag;
+      if !tag >= 1 lsl tag_bits then
+        invalid_arg "Harness.run_blocking: too many inserts for key tagging";
+      (raw lsl tag_bits) lor !tag
+    end
+    else raw
+  in
+  let total = profile.producers * profile.items_per_producer in
+  let quota c = (total / profile.consumers) + (if c < total mod profile.consumers then 1 else 0) in
+  let _report =
+    Machine.run ~perturb:{ Machine.sched_seed = seed; jitter = profile.jitter } (fun () ->
+        let q = impl.QA.create () in
+        let hq = History.wrap history q in
+        for p = 0 to profile.producers - 1 do
+          Machine.spawn (fun () ->
+              let rng =
+                Rng.of_seed
+                  (Int64.logxor seed (Int64.mul (Int64.of_int (p + 1)) 0x9E3779B97F4A7C15L))
+              in
+              for i = 0 to profile.items_per_producer - 1 do
+                hq.QA.insert_wait
+                  (mk_key (Rng.int rng profile.key_range))
+                  (((p + 1) * 100_000) + i);
+                (* a long pause between bursts, a short one within *)
+                if (i + 1) mod profile.burst = 0 then Machine.work (256 + Rng.int rng 512)
+                else Machine.work (1 + Rng.int rng 16)
+              done)
+        done;
+        for c = 0 to profile.consumers - 1 do
+          Machine.spawn (fun () ->
+              let rng =
+                Rng.of_seed
+                  (Int64.logxor seed (Int64.mul (Int64.of_int (c + 101)) 0xC2B2AE3D27D4EB4FL))
+              in
+              for _ = 1 to quota c do
+                ignore (hq.QA.delete_min_wait ());
+                Machine.work (1 + Rng.int rng 64)
+              done)
+        done;
+        (* quiescent drain (must find nothing: the quotas are exact) *)
+        Machine.spawn (fun () ->
+            Machine.work (1 lsl 55);
+            let rec go () =
+              match q.QA.try_delete_min () with
+              | Some kv ->
+                drained := kv :: !drained;
+                go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  {
+    Checkers.impl = impl.QA.name;
+    dedups = impl.QA.dedups;
+    spec = impl.QA.spec;
+    seed;
+    events = History.events history;
+    drained = List.rev !drained;
+    capacity = Some profile.capacity;
+    spans = History.park_spans history;
   }
 
 type violation = { seed : int64; check : string; message : string }
@@ -89,18 +192,19 @@ type summary = {
 
 let seeds ~start ~count = List.init count (fun i -> Int64.add start (Int64.of_int i))
 
-let sweep_impl ?bounds ?profile ?(jobs = 1) (impl : QA.impl) seed_list =
-  (* Each seed is an independent, pure simulation (everything derives from
-     the seed), so the sweep fans out over [jobs] domains; results are
-     collected in seed order, making the summary identical for any [jobs]
-     (see DESIGN.md §S16). *)
+(* Each seed is an independent, pure simulation (everything derives from
+   the seed), so the sweeps fan out over [jobs] domains; results are
+   collected in seed order, making the summary identical for any [jobs]
+   (see DESIGN.md §S16). *)
+let sweep_with ~run ?bounds ~jobs (impl : QA.impl) seed_list =
   let per_seed =
     Repro_workload.Jobs.map ~jobs
       (fun seed ->
         (* A run that crashes, deadlocks, or wedges (e.g. a race corrupted
-           the structure into an unbounded hunt) is itself a caught,
-           replayable violation — not a sweep failure. *)
-        match run_one ?profile impl seed with
+           the structure into an unbounded hunt, or a lost wakeup stranded
+           a parked processor into the deadlock detector) is itself a
+           caught, replayable violation — not a sweep failure. *)
+        match run impl seed with
         | h ->
           ( List.length h.Checkers.events,
             List.map
@@ -119,5 +223,11 @@ let sweep_impl ?bounds ?profile ?(jobs = 1) (impl : QA.impl) seed_list =
     violations = List.concat_map snd per_seed;
   }
 
+let sweep_impl ?bounds ?profile ?(jobs = 1) impl seed_list =
+  sweep_with ~run:(fun impl seed -> run_one ?profile impl seed) ?bounds ~jobs impl seed_list
+
 let sweep ?bounds ?profile ?jobs impls seed_list =
   List.map (fun impl -> sweep_impl ?bounds ?profile ?jobs impl seed_list) impls
+
+let sweep_blocking ?bounds ?profile ?(jobs = 1) impl seed_list =
+  sweep_with ~run:(fun impl seed -> run_blocking ?profile impl seed) ?bounds ~jobs impl seed_list

@@ -29,6 +29,35 @@ val run_one : ?profile:profile -> Repro_workload.Queue_adapter.impl -> int64 -> 
     keys are made unique by a low-bits insertion counter (order-preserving)
     so id-exact conservation applies. *)
 
+type blocking_profile = {
+  producers : int;  (** processors inserting through [insert_wait] *)
+  consumers : int;  (** processors popping through [delete_min_wait] *)
+  items_per_producer : int;
+  capacity : int;
+      (** recorded into the history for {!Checkers.capacity_bound}; MUST
+          equal the capacity the implementation's façade was created
+          with — the harness cannot see inside the instance *)
+  burst : int;  (** inserts per burst; bursts are separated by long pauses *)
+  key_range : int;
+  jitter : int;
+}
+
+val default_blocking_profile : blocking_profile
+(** 4 producers x 24 items in bursts of 6 against 2 consumers through a
+    capacity-8 façade — saturates both conditions (backpressure parks and
+    empty-queue parks) many times per run. *)
+
+val run_blocking :
+  ?profile:blocking_profile -> Repro_workload.Queue_adapter.impl -> int64 -> Checkers.history
+(** One blocking producer/consumer execution of a bounded/blocking
+    implementation (a ["bounded:*"] registry entry re-created at
+    [profile.capacity], or a mutant).  Consumer quotas split the produced
+    total exactly, so a correct façade quiesces empty with every processor
+    finished; a lost wakeup strands a parked processor and surfaces as the
+    simulator's deadlock exception.  The returned history carries
+    [capacity = Some profile.capacity] and the parked-operation spans, so
+    {!Checkers.check_all} includes the blocking suite. *)
+
 type violation = { seed : int64; check : string; message : string }
 
 type summary = {
@@ -60,3 +89,13 @@ val sweep :
   Repro_workload.Queue_adapter.impl list ->
   int64 list ->
   summary list
+
+val sweep_blocking :
+  ?bounds:Checkers.bounds ->
+  ?profile:blocking_profile ->
+  ?jobs:int ->
+  Repro_workload.Queue_adapter.impl ->
+  int64 list ->
+  summary
+(** {!run_blocking} + {!Checkers.check_all} over every seed, with the same
+    fan-out and replayability as {!sweep_impl}. *)

@@ -1,19 +1,22 @@
 module O = Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
 module Machine = Repro_sim.Machine
 
-(* Events are recorded into preallocated per-processor int buffers — seven
+(* Events are recorded into preallocated per-processor int buffers — ten
    columns per event: global sequence number, processor, tag (0 = insert,
    1 = delete returning Some, 2 = delete returning None), key, id,
-   invoked, responded — and only flattened back into [O.event] records at
-   quiescence, when [events] is called.  The hot recording path therefore
-   allocates nothing once a processor's buffer has reached its working
-   size (it doubles geometrically), which is what lets bin/check.exe seed
-   sweeps record millions of events without paying a cons per operation.
-   The per-event sequence numbers are dense, so the flush places each
-   event at its own index — the exact recording order, no sort needed. *)
+   invoked, responded, parks (condition parks performed inside the
+   operation), parked-at and woken-at (the clock of the last such park and
+   the resume it was granted; -1 when the operation never parked) — and
+   only flattened back into [O.event] records at quiescence, when [events]
+   is called.  The hot recording path therefore allocates nothing once a
+   processor's buffer has reached its working size (it doubles
+   geometrically), which is what lets bin/check.exe seed sweeps record
+   millions of events without paying a cons per operation.  The per-event
+   sequence numbers are dense, so the flush places each event at its own
+   index — the exact recording order, no sort needed. *)
 
 let slots = 4096 (* power of two; processor ids fold into it *)
-let columns = 7
+let columns = 10
 
 type t = {
   bufs : int array array; (* per-slot rows of [columns] ints *)
@@ -34,7 +37,8 @@ let ensure_row t idx =
     grown
   end
 
-let record t ~proc ~tag ~key ~id ~invoked ~responded =
+let record t ~proc ~tag ~key ~id ~invoked ~responded ?(parks = 0)
+    ?(parked_at = -1) ?(woken_at = -1) () =
   let idx = proc land (slots - 1) in
   let buf = ensure_row t idx in
   let base = t.lens.(idx) * columns in
@@ -45,6 +49,9 @@ let record t ~proc ~tag ~key ~id ~invoked ~responded =
   buf.(base + 4) <- id;
   buf.(base + 5) <- invoked;
   buf.(base + 6) <- responded;
+  buf.(base + 7) <- parks;
+  buf.(base + 8) <- parked_at;
+  buf.(base + 9) <- woken_at;
   t.seq <- t.seq + 1;
   t.lens.(idx) <- t.lens.(idx) + 1
 
@@ -74,26 +81,86 @@ let events t =
     Array.to_list out
   end
 
+(* A parked operation, reconstructed for the blocking-aware checkers. *)
+type span = { event : O.event; parks : int; parked_at : int; woken_at : int }
+
+let park_spans t =
+  let out = ref [] in
+  Array.iteri
+    (fun idx buf ->
+      for row = t.lens.(idx) - 1 downto 0 do
+        let b = row * columns in
+        if buf.(b + 7) > 0 then begin
+          let op =
+            match buf.(b + 2) with
+            | 0 -> O.Insert { key = buf.(b + 3); id = buf.(b + 4) }
+            | 1 -> O.Delete_min { result = Some (buf.(b + 3), buf.(b + 4)) }
+            | _ -> O.Delete_min { result = None }
+          in
+          out :=
+            {
+              event =
+                { O.proc = buf.(b + 1); op; invoked = buf.(b + 5); responded = buf.(b + 6) };
+              parks = buf.(b + 7);
+              parked_at = buf.(b + 8);
+              woken_at = buf.(b + 9);
+            }
+            :: !out
+        end
+      done)
+    t.bufs;
+  List.sort
+    (fun a b ->
+      compare (a.event.O.invoked, a.event.O.responded) (b.event.O.invoked, b.event.O.responded))
+    !out
+
 (* Timestamps come from [Machine.probe_time] (free of simulated charge) and
    the buffers are host state, mutated only between simulator effects — so
-   recording perturbs neither the schedule nor the cycle counts. *)
+   recording perturbs neither the schedule nor the cycle counts.  Parking
+   is observed the same way: [Machine.probe_blocking] exposes the calling
+   processor's condition-park counter and last park/wake clocks, so
+   differencing it across the operation says whether (and when) the
+   operation parked without touching the simulation. *)
 let wrap t (q : Repro_workload.Queue_adapter.instance) =
+  let enter () =
+    let proc = Machine.self () in
+    let parks0, _, _ = Machine.probe_blocking () in
+    (proc, parks0, Machine.probe_time ())
+  in
+  let finish ~proc ~parks0 ~invoked ~tag ~key ~id =
+    let responded = Machine.probe_time () in
+    let parks1, last_park, last_wake = Machine.probe_blocking () in
+    let parks = parks1 - parks0 in
+    let parked_at, woken_at = if parks > 0 then (last_park, last_wake) else (-1, -1) in
+    record t ~proc ~tag ~key ~id ~invoked ~responded ~parks ~parked_at ~woken_at ()
+  in
+  let open Repro_workload.Queue_adapter in
+  let record_delete result ~proc ~parks0 ~invoked =
+    let tag, key, id = match result with Some (k, i) -> (1, k, i) | None -> (2, 0, 0) in
+    finish ~proc ~parks0 ~invoked ~tag ~key ~id
+  in
   {
     q with
-    Repro_workload.Queue_adapter.insert =
+    insert =
       (fun key id ->
-        let proc = Machine.self () in
-        let invoked = Machine.probe_time () in
-        q.Repro_workload.Queue_adapter.insert key id;
-        record t ~proc ~tag:0 ~key ~id ~invoked ~responded:(Machine.probe_time ()));
-    delete_min =
+        let proc, parks0, invoked = enter () in
+        q.insert key id;
+        finish ~proc ~parks0 ~invoked ~tag:0 ~key ~id);
+    insert_wait =
+      (fun key id ->
+        let proc, parks0, invoked = enter () in
+        q.insert_wait key id;
+        finish ~proc ~parks0 ~invoked ~tag:0 ~key ~id);
+    try_delete_min =
       (fun () ->
-        let proc = Machine.self () in
-        let invoked = Machine.probe_time () in
-        let result = q.Repro_workload.Queue_adapter.delete_min () in
-        let tag, key, id =
-          match result with Some (k, i) -> (1, k, i) | None -> (2, 0, 0)
-        in
-        record t ~proc ~tag ~key ~id ~invoked ~responded:(Machine.probe_time ());
+        let proc, parks0, invoked = enter () in
+        let result = q.try_delete_min () in
+        record_delete result ~proc ~parks0 ~invoked;
         result);
+    delete_min_wait =
+      (fun () ->
+        let proc, parks0, invoked = enter () in
+        let kv = q.delete_min_wait () in
+        record_delete (Some kv) ~proc ~parks0 ~invoked;
+        kv);
   }

@@ -19,10 +19,48 @@ let lock_create ?name () =
   ignore name;
   Mutex.create ()
 
-let acquire = Mutex.lock
+(* Process-global lock counters.  Per-domain slots (plain stores, no RMW)
+   keep the accounting off the lock fast path's contention profile; the
+   summed reading is monotonic and exact once the writing domains have
+   joined, approximate mid-run — all the stats consumers need. *)
+let stat_slots = 256
+let acq_counts = Array.make stat_slots 0
+let try_fail_counts = Array.make stat_slots 0
+
+let proc_ids = Atomic.make 0
+let proc_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add proc_ids 1)
+let self () = Domain.DLS.get proc_key
+let[@inline] stat_slot () = self () land (stat_slots - 1)
+
+let acquire m =
+  Mutex.lock m;
+  let s = stat_slot () in
+  acq_counts.(s) <- acq_counts.(s) + 1
+
 let release = Mutex.unlock
-let try_acquire = Mutex.try_lock
+
+let try_acquire m =
+  let got = Mutex.try_lock m in
+  let s = stat_slot () in
+  if got then acq_counts.(s) <- acq_counts.(s) + 1
+  else try_fail_counts.(s) <- try_fail_counts.(s) + 1;
+  got
+
 let lock_refresh (_ : lock) = ()
+
+let lock_stats () =
+  let sum a = Array.fold_left ( + ) 0 a in
+  (sum acq_counts, sum try_fail_counts)
+
+type cond = { cv : Condition.t; cmx : Mutex.t }
+
+let cond_create ?name m =
+  ignore name;
+  { cv = Condition.create (); cmx = m }
+
+let cond_wait c = Condition.wait c.cv c.cmx
+let cond_signal c = Condition.signal c.cv
+let cond_broadcast c = Condition.broadcast c.cv
 
 let clock = Atomic.make 1
 
@@ -40,9 +78,6 @@ let work n =
   done;
   ignore (Sys.opaque_identity !acc)
 
-let proc_ids = Atomic.make 0
-let proc_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add proc_ids 1)
-let self () = Domain.DLS.get proc_key
 let yield () = Domain.cpu_relax ()
 
 let run_processors n body =

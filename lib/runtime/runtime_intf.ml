@@ -72,6 +72,42 @@ module type S = sig
       primitive behind try-lock sharded structures such as the
       MultiQueue. *)
 
+  val lock_stats : unit -> int * int
+  (** [(acquisitions, try_failures)] granted/failed so far, summed over
+      every lock of the runtime context the caller runs in: on the
+      simulator the counters of the enclosing [Machine.run] (read free of
+      simulated charge, for harness instrumentation); on the native
+      runtime process-global monotonic counters.  Callers difference two
+      readings to attribute lock traffic to a code region — that is how
+      {!Queue_adapter} derives the common [lock_acquisitions] /
+      [lock_try_failures] counters every instance reports. *)
+
+  type cond
+  (** A condition variable in the monitor sense, tied at creation to the
+      {!lock} that guards the predicate it signals about.  On the
+      simulator waiters park in FIFO order and wake deterministically;
+      on the native runtime it is a [Condition.t]. *)
+
+  val cond_create : ?name:string -> lock -> cond
+  (** [cond_create lock] allocates a condition whose waiters must hold
+      [lock].  [name] is used for tracing and deadlock diagnostics. *)
+
+  val cond_wait : cond -> unit
+  (** Atomically releases the associated lock and parks the caller until
+      some other processor signals the condition; re-acquires the lock
+      (queueing like any other acquirer) before returning.  The caller
+      must hold the associated lock.  As with every condition variable,
+      wake-ups are permissions to re-check, not proofs: callers must
+      re-test their predicate in a loop. *)
+
+  val cond_signal : cond -> unit
+  (** Wakes the longest-parked waiter, if any.  The woken processor still
+      re-acquires the lock before [cond_wait] returns.  Costs one shared
+      write on the condition word. *)
+
+  val cond_broadcast : cond -> unit
+  (** Wakes every current waiter; they re-acquire the lock one by one. *)
+
   val get_time : unit -> int
   (** Reads the shared clock.  Timestamps are totally ordered consistently
       with real time: if operation A's [get_time] happens before operation

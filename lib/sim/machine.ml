@@ -10,6 +10,8 @@ type report = {
   lock_contentions : int;
   lock_wait_cycles : int;
   lock_try_failures : int;
+  cond_parkings : int;
+  cond_wait_cycles : int;
 }
 
 exception Deadlock of string
@@ -21,6 +23,16 @@ type lock = {
   lock_name : string;
   mutable holder : int; (* proc id, or -1 when free *)
   waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
+}
+
+(* A condition variable is tied to its guarding lock at creation: waiting
+   releases [cond_lock], waking re-acquires it, and the deadlock
+   diagnostic names the pair.  Waiters park FIFO, like lock waiters. *)
+type cond = {
+  mutable cond_meta : Memory_model.meta;
+  cond_name : string;
+  cond_lock : lock;
+  cond_waiting : (int * (unit, unit) Effect.Deep.continuation) Queue.t;
 }
 
 type _ Effect.t +=
@@ -42,6 +54,13 @@ type _ Effect.t +=
      allocates nothing. *)
   | Yield : unit Effect.t
   | Park : unit Effect.t
+  | Cond_wait : cond -> unit Effect.t
+  | Cond_signal : cond -> unit Effect.t
+  | Cond_broadcast : cond -> unit Effect.t
+  (* Constant-constructor twin of [Cond_wait] for the run-ahead public
+     operation, taking the condition from the [eff_cond] mailbox — same
+     trick as [Park] for lock acquisition. *)
+  | Park_cond : unit Effect.t
 
 (* The run-ahead register: when the current processor's next event is
    strictly below everything in the heap, its continuation parks here and
@@ -77,6 +96,7 @@ type state = {
   mutable next_loc : int;
   mutable parked : int;
   mutable waiting_locks : lock list; (* locks with at least one waiter *)
+  mutable waiting_conds : cond list; (* conditions with at least one waiter *)
   mutable finished : int;
   mutable end_time : int;
   (* Payload mailboxes for the pre-allocated effect handlers: [effc]
@@ -89,6 +109,13 @@ type state = {
   mutable eff_meta : Memory_model.meta;
   mutable eff_kind : Memory_model.kind;
   mutable eff_lock : lock;
+  mutable eff_cond : cond;
+  (* Free per-processor blocking probes for harness instrumentation (the
+     blocking-aware history recorder), mirroring [probe_time]: cumulative
+     condition parkings, and the times of the most recent park and wake. *)
+  proc_cond_parks : int array;
+  proc_last_park : int array;
+  proc_last_wake : int array;
   (* statistics *)
   mutable dispatched : int;
   mutable accesses : int;
@@ -99,6 +126,8 @@ type state = {
   mutable lock_contentions : int;
   mutable lock_wait_cycles : int;
   mutable lock_try_failures : int;
+  mutable cond_parkings : int;
+  mutable cond_wait_cycles : int;
 }
 
 (* Without perturbation the key is [(at, seq)]: same-time events run FIFO
@@ -182,15 +211,42 @@ let charge_access st meta kind =
            queued = c.Memory_model.c_queued;
          })
 
+(* The diagnostic distinguishes the two ways a processor can be parked:
+   waiting for a lock (its holder is named — the classic cycle hunt) and
+   waiting on a condition nobody will signal (a lost wake-up; the
+   condition and its guarding lock are named).  The lock-only wording is
+   kept byte-identical to the historical message. *)
 let deadlock_message st =
+  let waiter_list q = List.rev (Queue.fold (fun acc (p, _) -> p :: acc) [] q) in
+  let pp_waiters ps = String.concat "; " (List.map string_of_int ps) in
   let locks = List.filter (fun l -> not (Queue.is_empty l.waiting)) st.waiting_locks in
-  let pp_lock l =
-    let waiters = List.rev (Queue.fold (fun acc (p, _) -> p :: acc) [] l.waiting) in
-    Printf.sprintf "%S held by %d, waited on by [%s]" l.lock_name l.holder
-      (String.concat "; " (List.map string_of_int waiters))
+  let conds =
+    List.filter (fun c -> not (Queue.is_empty c.cond_waiting)) st.waiting_conds
   in
-  Printf.sprintf "%d processor(s) parked on locks, none runnable: %s" st.parked
-    (String.concat ", " (List.map pp_lock (List.rev locks)))
+  let pp_lock l =
+    Printf.sprintf "%S held by %d, waited on by [%s]" l.lock_name l.holder
+      (pp_waiters (waiter_list l.waiting))
+  in
+  let pp_cond c =
+    Printf.sprintf "condition %S (lock %S) waited on by [%s]" c.cond_name
+      c.cond_lock.lock_name
+      (pp_waiters (waiter_list c.cond_waiting))
+  in
+  let parts =
+    List.map pp_lock (List.rev locks) @ List.map pp_cond (List.rev conds)
+  in
+  if conds = [] then
+    Printf.sprintf "%d processor(s) parked on locks, none runnable: %s" st.parked
+      (String.concat ", " parts)
+  else begin
+    let count qs len = List.fold_left (fun acc q -> acc + Queue.length (len q)) 0 qs in
+    let on_locks = count locks (fun l -> l.waiting) in
+    let on_conds = count conds (fun c -> c.cond_waiting) in
+    Printf.sprintf
+      "%d processor(s) parked (%d on locks, %d on conditions), none runnable: %s"
+      st.parked on_locks on_conds
+      (String.concat ", " parts)
+  end
 
 (* --- step bodies shared between the effect handlers and the run-ahead
    elision paths.  A public operation either performs its effect (handler
@@ -293,6 +349,74 @@ let do_release st lock =
            }));
     enqueue st ~proc:waiter ~at:wake (fun () -> Effect.Deep.continue wk ())
 
+(* Condition wait: atomically give up the guarding lock (a full release,
+   including the handoff to the next acquirer) and park on the condition's
+   FIFO.  The parked processor generates no memory traffic and its clock
+   stands still until a signal arrives. *)
+let do_cond_wait st c (k : (unit, unit) Effect.Deep.continuation) =
+  let p = st.current in
+  if c.cond_lock.holder <> p then
+    failwith
+      (Printf.sprintf
+         "Machine: processor %d waits on condition %s without holding lock %s"
+         p c.cond_name c.cond_lock.lock_name);
+  do_release st c.cond_lock;
+  st.cond_parkings <- st.cond_parkings + 1;
+  st.parked <- st.parked + 1;
+  st.proc_cond_parks.(p) <- st.proc_cond_parks.(p) + 1;
+  st.proc_last_park.(p) <- st.clocks.(p);
+  (match st.tracer with
+  | None -> ()
+  | Some sink ->
+    sink
+      (Trace.Cond_parked
+         { proc = p; cond = c.cond_name; lock = c.cond_lock.lock_name;
+           at = st.clocks.(p) }));
+  Queue.add (p, k) c.cond_waiting;
+  if Queue.length c.cond_waiting = 1 then
+    st.waiting_conds <- c :: st.waiting_conds
+
+(* Wake the longest-parked waiter: its clock jumps to the signal's
+   delivery time (same handoff charge as a lock handoff) and the waiter
+   is re-scheduled into an ordinary lock acquisition — granted on the
+   spot if the guarding lock is free at that simulated instant, parked on
+   the lock's FIFO otherwise.  Waited cycles accumulate per the same
+   park-to-wake rule as locks. *)
+let wake_one st c =
+  match Queue.take_opt c.cond_waiting with
+  | None -> ()
+  | Some (waiter, wk) ->
+    if Queue.is_empty c.cond_waiting then
+      st.waiting_conds <- List.filter (fun x -> x != c) st.waiting_conds;
+    st.parked <- st.parked - 1;
+    let park_time = st.clocks.(waiter) in
+    let wake = Int.max st.clocks.(st.current) park_time + handoff_cost st in
+    st.cond_wait_cycles <- st.cond_wait_cycles + (wake - park_time);
+    st.clocks.(waiter) <- wake;
+    st.proc_last_wake.(waiter) <- wake;
+    (match st.tracer with
+    | None -> ()
+    | Some sink ->
+      sink
+        (Trace.Cond_woken
+           { proc = waiter; cond = c.cond_name; lock = c.cond_lock.lock_name;
+             at = wake; waited = wake - park_time }));
+    enqueue st ~proc:waiter ~at:wake (fun () ->
+        if do_acquire_grant st c.cond_lock then Effect.Deep.continue wk ()
+        else park st c.cond_lock wk)
+
+(* Signal and broadcast are shared writes on the condition word (the
+   caller need not hold the guarding lock, exactly like [Condition]). *)
+let do_cond_signal st c =
+  charge_access st c.cond_meta Memory_model.Write;
+  wake_one st c
+
+let do_cond_broadcast st c =
+  charge_access st c.cond_meta Memory_model.Write;
+  while not (Queue.is_empty c.cond_waiting) do
+    wake_one st c
+  done
+
 (* The running simulation on this domain, for the elision paths of the
    public operations.  Domain-local because independent sweep points run
    whole simulations on separate domains concurrently. *)
@@ -315,6 +439,10 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
     { lock_meta = dummy_meta; lock_name = "<none>"; holder = -1;
       waiting = Queue.create () }
   in
+  let dummy_cond =
+    { cond_meta = dummy_meta; cond_name = "<none>"; cond_lock = dummy_lock;
+      cond_waiting = Queue.create () }
+  in
   let st =
     {
       config;
@@ -336,6 +464,7 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
       next_loc = 0;
       parked = 0;
       waiting_locks = [];
+      waiting_conds = [];
       finished = 0;
       end_time = 0;
       dispatched = 0;
@@ -347,10 +476,16 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
       lock_contentions = 0;
       lock_wait_cycles = 0;
       lock_try_failures = 0;
+      cond_parkings = 0;
+      cond_wait_cycles = 0;
       eff_int = 0;
       eff_meta = dummy_meta;
       eff_kind = Memory_model.Read;
       eff_lock = dummy_lock;
+      eff_cond = dummy_cond;
+      proc_cond_parks = Array.make config.Memory_model.max_procs 0;
+      proc_last_park = Array.make config.Memory_model.max_procs (-1);
+      proc_last_wake = Array.make config.Memory_model.max_procs (-1);
     }
   in
   (* One handler closure per hot effect, allocated once per run; [effc]
@@ -401,6 +536,20 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
   let some_h_release = Some h_release in
   let h_yield (k : (unit, unit) Effect.Deep.continuation) = resume_unit st k in
   let some_h_yield = Some h_yield in
+  let h_cond_wait (k : (unit, unit) Effect.Deep.continuation) =
+    do_cond_wait st st.eff_cond k
+  in
+  let some_h_cond_wait = Some h_cond_wait in
+  let h_cond_signal (k : (unit, unit) Effect.Deep.continuation) =
+    do_cond_signal st st.eff_cond;
+    resume_unit st k
+  in
+  let some_h_cond_signal = Some h_cond_signal in
+  let h_cond_broadcast (k : (unit, unit) Effect.Deep.continuation) =
+    do_cond_broadcast st st.eff_cond;
+    resume_unit st k
+  in
+  let some_h_cond_broadcast = Some h_cond_broadcast in
   let rec start_proc proc body =
     Effect.Deep.match_with body ()
       {
@@ -450,6 +599,21 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
                 : ((a, unit) Effect.Deep.continuation -> unit) option)
             | Park ->
               (some_h_park
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Cond_wait c ->
+              st.eff_cond <- c;
+              (some_h_cond_wait
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Park_cond ->
+              (some_h_cond_wait
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Cond_signal c ->
+              st.eff_cond <- c;
+              (some_h_cond_signal
+                : ((a, unit) Effect.Deep.continuation -> unit) option)
+            | Cond_broadcast c ->
+              st.eff_cond <- c;
+              (some_h_cond_broadcast
                 : ((a, unit) Effect.Deep.continuation -> unit) option)
             | Alloc ->
               Some
@@ -537,6 +701,8 @@ let run ?(config = Memory_model.default) ?tracer ?perturb ?(fast_path = true) ma
     lock_contentions = st.lock_contentions;
     lock_wait_cycles = st.lock_wait_cycles;
     lock_try_failures = st.lock_try_failures;
+    cond_parkings = st.cond_parkings;
+    cond_wait_cycles = st.cond_wait_cycles;
   }
 
 let not_in_sim () = failwith "Machine: operation used outside Machine.run"
@@ -642,3 +808,49 @@ let lock_release lock =
     do_release st lock;
     finish_step st
   | _ -> perform_or_fail (Release lock)
+
+let cond_create ?(name = "cond") lock =
+  {
+    cond_meta = alloc_meta ();
+    cond_name = name;
+    cond_lock = lock;
+    cond_waiting = Queue.create ();
+  }
+
+(* [cond_wait] always parks, so there is nothing to elide: the run-ahead
+   route merely swaps the allocating [Cond_wait c] constructor for the
+   constant [Park_cond] + mailbox, like [lock_acquire]'s park. *)
+let cond_wait c =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    st.eff_cond <- c;
+    Effect.perform Park_cond
+  | _ -> perform_or_fail (Cond_wait c)
+
+let cond_signal c =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    do_cond_signal st c;
+    finish_step st
+  | _ -> perform_or_fail (Cond_signal c)
+
+let cond_broadcast c =
+  match Domain.DLS.get dls_state with
+  | Some st when st.fast_enabled ->
+    do_cond_broadcast st c;
+    finish_step st
+  | _ -> perform_or_fail (Cond_broadcast c)
+
+(* Free probes (no simulated charge), for harness instrumentation. *)
+
+let probe_lock_stats () =
+  match Domain.DLS.get dls_state with
+  | Some st -> (st.lock_acquisitions, st.lock_try_failures)
+  | None -> not_in_sim ()
+
+let probe_blocking () =
+  match Domain.DLS.get dls_state with
+  | Some st ->
+    let p = st.current in
+    (st.proc_cond_parks.(p), st.proc_last_park.(p), st.proc_last_wake.(p))
+  | None -> not_in_sim ()

@@ -37,13 +37,23 @@ type report = {
           attempted lock RMWs = [lock_acquisitions + lock_try_failures]:
           every attempt either eventually succeeds (counted in
           acquisitions, once) or is a failed try. *)
+  cond_parkings : int;  (** [cond_wait] calls (each one parks) *)
+  cond_wait_cycles : int;
+      (** total cycles parked on condition variables, park to signal
+          delivery; the re-acquisition of the guarding lock after the wake
+          is accounted under the lock counters like any acquisition *)
 }
 
 exception Deadlock of string
-(** Raised when no processor is runnable but some are parked on locks.
-    The message names each lock that still has waiters, its holder and the
-    parked processor ids, e.g.
-    ["2 processor(s) parked on locks, none runnable: \"a\" held by 2, waited on by [1], ..."]. *)
+(** Raised when no processor is runnable but some are parked — on locks or
+    on condition variables.  The message distinguishes the two: each lock
+    with waiters is named with its holder and parked processor ids, and
+    each condition with waiters is named together with its guarding lock,
+    e.g.
+    ["3 processor(s) parked (1 on locks, 2 on conditions), none runnable:
+      \"a\" held by 2, waited on by [1],
+      condition \"not_empty\" (lock \"pop\") waited on by [3; 4]"].
+    When only locks have waiters the historical lock-only wording is kept. *)
 
 type perturbation = { sched_seed : int64; jitter : int }
 (** Schedule-exploration mode (the history fuzzer's lever).  A seeded
@@ -128,3 +138,48 @@ val lock_refresh : lock -> unit
     location drawn from the same id counter as {!lock_create}, so a
     recycled lock is bit-identical to a fresh one.  Raises [Failure] if
     the lock is held or waited on. *)
+
+(** {2 Condition variables}
+
+    Monitor-style park/wake, tied to a guarding lock at creation.  Waiters
+    park in FIFO order; a signal wakes the longest-parked waiter at
+    [max(signaler clock, park time) + handoff] — the same handoff charge a
+    lock release pays — and the woken processor re-acquires the guarding
+    lock as an ordinary acquirer (granted immediately if free, parked on
+    the lock FIFO otherwise) before its [cond_wait] returns.  Parked
+    processors generate no memory traffic, and their waited cycles are
+    reported per condition through {!Trace} and in aggregate in
+    {!type-report}.  All of this is pay-as-you-go: programs that never
+    touch a condition run byte-identically to a machine without them. *)
+
+type cond
+
+val cond_create : ?name:string -> lock -> cond
+(** Free of simulated charge, like {!lock_create}. *)
+
+val cond_wait : cond -> unit
+(** Atomically releases the guarding lock (a full release, with handoff)
+    and parks until signaled; re-acquires the lock before returning.
+    Raises [Failure] if the caller does not hold the guarding lock. *)
+
+val cond_signal : cond -> unit
+(** Wakes the longest-parked waiter, if any.  Charged as one shared write
+    on the condition word.  The caller need not hold the guarding lock. *)
+
+val cond_broadcast : cond -> unit
+(** Wakes every waiter (one shared write); they re-acquire the guarding
+    lock one by one, serialized by the lock's FIFO. *)
+
+(** {2 Free probes} *)
+
+val probe_lock_stats : unit -> int * int
+(** [(lock_acquisitions, lock_try_failures)] so far, free of simulated
+    charge — harness instrumentation (differencing two readings brackets
+    a code region's lock traffic). *)
+
+val probe_blocking : unit -> int * int * int
+(** [(cond_parks, last_park_at, last_wake_at)] for the calling processor,
+    free of charge: cumulative [cond_wait] parkings, and the simulated
+    times of its most recent condition park and wake ([-1] before the
+    first).  The blocking-aware history recorder brackets each operation
+    with this probe to attach park/wake spans to recorded operations. *)

@@ -44,6 +44,14 @@ let lock_refresh = Machine.lock_refresh
 let acquire = Machine.lock_acquire
 let release = Machine.lock_release
 let try_acquire = Machine.lock_try_acquire
+let lock_stats = Machine.probe_lock_stats
+
+type cond = Machine.cond
+
+let cond_create ?name lock = Machine.cond_create ?name lock
+let cond_wait = Machine.cond_wait
+let cond_signal = Machine.cond_signal
+let cond_broadcast = Machine.cond_broadcast
 let get_time = Machine.get_time
 let work = Machine.work
 let self = Machine.self

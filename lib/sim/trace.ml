@@ -14,6 +14,14 @@ type event =
   | Released of { proc : int; lock : string; at : int }
   | Parked of { proc : int; lock : string; at : int }
   | Woken of { proc : int; lock : string; at : int; waited : int }
+  | Cond_parked of { proc : int; cond : string; lock : string; at : int }
+  | Cond_woken of {
+      proc : int;
+      cond : string;
+      lock : string;
+      at : int;
+      waited : int;
+    }
 
 type sink = event -> unit
 
@@ -39,6 +47,12 @@ let pp_event ppf = function
     Format.fprintf ppf "[%d] proc %d parked on %s" at proc lock
   | Woken { proc; lock; at; waited } ->
     Format.fprintf ppf "[%d] proc %d woken on %s after %d" at proc lock waited
+  | Cond_parked { proc; cond; lock; at } ->
+    Format.fprintf ppf "[%d] proc %d parked on condition %s (lock %s)" at proc
+      cond lock
+  | Cond_woken { proc; cond; lock; at; waited } ->
+    Format.fprintf ppf "[%d] proc %d woken on condition %s (lock %s) after %d"
+      at proc cond lock waited
 
 module Summary = struct
   type loc_stat = { mutable misses : int; mutable loc_queued : int }
@@ -51,10 +65,13 @@ module Summary = struct
 
   type span = { mutable spawned_at : int; mutable exited_at : int }
 
+  type cond_stat = { mutable cond_parkings : int; mutable cond_waited : int }
+
   type t = {
     mutable total : int;
     locations : (int, loc_stat) Hashtbl.t;
     locks : (string, lock_stat) Hashtbl.t;
+    conds : (string, cond_stat) Hashtbl.t;
     spans : (int, span) Hashtbl.t;
   }
 
@@ -63,6 +80,7 @@ module Summary = struct
       total = 0;
       locations = Hashtbl.create 256;
       locks = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
       spans = Hashtbl.create 64;
     }
 
@@ -80,6 +98,14 @@ module Summary = struct
     | None ->
       let s = { acquisitions = 0; parkings = 0; waited = 0 } in
       Hashtbl.add t.locks name s;
+      s
+
+  let cond_stat t name =
+    match Hashtbl.find_opt t.conds name with
+    | Some s -> s
+    | None ->
+      let s = { cond_parkings = 0; cond_waited = 0 } in
+      Hashtbl.add t.conds name s;
       s
 
   let span t proc =
@@ -112,6 +138,12 @@ module Summary = struct
       let s = lock_stat t lock in
       s.acquisitions <- s.acquisitions + 1;
       s.waited <- s.waited + waited
+    | Cond_parked { cond; _ } ->
+      let s = cond_stat t cond in
+      s.cond_parkings <- s.cond_parkings + 1
+    | Cond_woken { cond; waited; _ } ->
+      let s = cond_stat t cond in
+      s.cond_waited <- s.cond_waited + waited
     | Released _ -> ()
 
   let events t = t.total
@@ -130,6 +162,12 @@ module Summary = struct
       t.locks []
     |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
 
+  let cond_profile t =
+    Hashtbl.fold
+      (fun name s acc -> (name, s.cond_parkings, s.cond_waited) :: acc)
+      t.conds []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
   let processor_spans t =
     Hashtbl.fold (fun proc s acc -> (proc, s.spawned_at, s.exited_at) :: acc) t.spans []
     |> List.sort compare
@@ -147,5 +185,13 @@ module Summary = struct
       (fun (name, acq, parks, waited) ->
         Format.fprintf ppf "  %-20s %8d %8d %10d@," name acq parks waited)
       (lock_profile t);
+    (match cond_profile t with
+    | [] -> ()
+    | conds ->
+      Format.fprintf ppf "conditions (name, parkings, waited cycles):@,";
+      List.iter
+        (fun (name, parks, waited) ->
+          Format.fprintf ppf "  %-20s %8d %10d@," name parks waited)
+        conds);
     Format.fprintf ppf "@]"
 end

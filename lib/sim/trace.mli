@@ -22,6 +22,18 @@ type event =
   | Released of { proc : int; lock : string; at : int }
   | Parked of { proc : int; lock : string; at : int }
   | Woken of { proc : int; lock : string; at : int; waited : int }
+  | Cond_parked of { proc : int; cond : string; lock : string; at : int }
+      (** the processor released [lock] and parked on condition [cond] *)
+  | Cond_woken of {
+      proc : int;
+      cond : string;
+      lock : string;
+      at : int;
+      waited : int;
+    }
+      (** a signal/broadcast delivered: [waited] cycles from park to wake
+          (the guarding lock's re-acquisition may still park on the lock
+          and is traced as an ordinary [Parked]/[Woken] pair) *)
 
 type sink = event -> unit
 
@@ -44,6 +56,11 @@ module Summary : sig
   (** [(name, acquisitions, parkings, waited_cycles)], sorted by waited
       cycles, worst first.  Locks created with the same [name] are
       aggregated — name locks meaningfully. *)
+
+  val cond_profile : t -> (string * int * int) list
+  (** [(name, parkings, waited_cycles)] per condition variable, sorted by
+      waited cycles, worst first.  Same name-aggregation rule as
+      {!lock_profile}. *)
 
   val processor_spans : t -> (int * int * int) list
   (** [(proc, spawned_at, exited_at)] for every processor seen. *)

@@ -174,7 +174,7 @@ let run ?config ?perturb ?fast_path (impl : Queue_adapter.impl) w =
                   Repro_util.Histogram.add insert_histogram dt
                 end
                 else begin
-                  (match q.Queue_adapter.delete_min () with
+                  (match q.Queue_adapter.try_delete_min () with
                   | None -> ()
                   | Some (key, _) ->
                     Stats.add rank_stats.(p)
@@ -193,7 +193,7 @@ let run ?config ?perturb ?fast_path (impl : Queue_adapter.impl) w =
             (* far beyond any workload's finish time, safely below overflow *)
             Machine.work (1 lsl 55);
             let rec count n =
-              match q.Queue_adapter.delete_min () with
+              match q.Queue_adapter.try_delete_min () with
               | None -> n
               | Some _ -> count (n + 1)
             in

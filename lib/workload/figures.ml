@@ -737,7 +737,7 @@ let ablation_elimination options =
                     q.Queue_adapter.insert
                       (Repro_util.Rng.int rng (1 lsl 20))
                       ((p * 1_000_000) + i)
-                  else ignore (q.Queue_adapter.delete_min ())
+                  else ignore (q.Queue_adapter.try_delete_min ())
                 done)
           done)
     in
@@ -809,6 +809,198 @@ let ablation_elimination options =
       ];
   }
 
+(* ------------------------------------------------------------------ *)
+
+(* Flagship blocking scenario: an earliest-deadline-first task scheduler
+   for a site with millions of users, built on the bounded/blocking façade.
+   Front-end processors (producers) accept jobs in bursts — each job
+   belongs to a user drawn from a 2,000,000-id space and carries a deadline
+   [now + slack] — and push them through [insert_wait] into a
+   capacity-bounded priority queue keyed by deadline (EDF order).  Worker
+   processors (consumers) loop on [delete_min_wait] and spend simulated
+   service time per job.  Producers outnumber workers 2:1 and bursts
+   outpace service, so the façade's two condition variables both engage:
+   workers park on empty lulls, producers park on the capacity bound
+   (backpressure) — the throttling that keeps a scheduler's backlog, and
+   its deadline misses, bounded.
+
+   Deadline keys are made unique (deadline in the high bits, a job counter
+   in the low 20) so the SkipQueue's update-in-place on duplicate keys
+   cannot merge two jobs; EDF order is preserved, ties break by arrival. *)
+let scheduler options =
+  let user_space = 2_000_000 in
+  let jobs_total = scaled options 6_000 in
+  if jobs_total > 1 lsl 20 then invalid_arg "scheduler: more jobs than tag bits";
+  (* Small enough that the burst surplus hits the bound early — producers
+     outproduce 2-3x at every sweep point, so backpressure is what holds
+     the backlog (and the sojourn times) down. *)
+  let capacity = 64 in
+  let backends =
+    [
+      ( "bounded:SkipQueue",
+        fun ~procs:_ -> Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.skipqueue ()) );
+      ( "bounded:Relaxed SkipQueue",
+        fun ~procs:_ ->
+          Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.relaxed_skipqueue ()) );
+      ( "bounded:MultiQueue",
+        fun ~procs -> Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.multiqueue ~procs ())
+      );
+    ]
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  (* 2 producers per consumer, plus root and a post-quiescence stats
+     reader, against the simulator's 512-processor table. *)
+  let consumer_counts =
+    List.filter (fun c -> c <= top && (3 * c) + 2 <= 512) (proc_counts options)
+  in
+  let run_point ~mk ~consumers =
+    let producers = 2 * consumers in
+    let insert_t = Array.make jobs_total 0 in
+    let deadline = Array.make jobs_total 0 in
+    let pop_t = Array.make jobs_total (-1) in
+    let user = Array.make jobs_total 0 in
+    let front_stats = ref [] in
+    let split total parts p = (total / parts) + (if p < total mod parts then 1 else 0) in
+    let offset total parts p = (p * (total / parts)) + Int.min p (total mod parts) in
+    let (_ : Repro_sim.Machine.report) =
+      Repro_sim.Machine.run (fun () ->
+          let impl = mk ~procs:(producers + consumers) in
+          let q = impl.Queue_adapter.create () in
+          for p = 0 to producers - 1 do
+            let base = offset jobs_total producers p in
+            let count = split jobs_total producers p in
+            Repro_sim.Machine.spawn (fun () ->
+                let rng =
+                  Repro_util.Rng.of_seed
+                    (Int64.logxor 0x5EED5EEDL (Int64.of_int (p + 1)))
+                in
+                for i = 0 to count - 1 do
+                  let j = base + i in
+                  let now = Repro_sim.Machine.probe_time () in
+                  let slack = 2_000 + Repro_util.Rng.int rng 30_000 in
+                  user.(j) <- Repro_util.Rng.int rng user_space;
+                  insert_t.(j) <- now;
+                  deadline.(j) <- now + slack;
+                  q.Queue_adapter.insert_wait (((now + slack) lsl 20) lor j) j;
+                  (* bursts of 8 arrivals, then a lull *)
+                  if (i + 1) mod 8 = 0 then
+                    Repro_sim.Machine.work (1_000 + Repro_util.Rng.int rng 2_000)
+                  else Repro_sim.Machine.work (1 + Repro_util.Rng.int rng 32)
+                done)
+          done;
+          for c = 0 to consumers - 1 do
+            let quota = split jobs_total consumers c in
+            Repro_sim.Machine.spawn (fun () ->
+                let rng =
+                  Repro_util.Rng.of_seed
+                    (Int64.logxor 0xC0FFEEL (Int64.of_int (c + 1)))
+                in
+                for _ = 1 to quota do
+                  let _k, j = q.Queue_adapter.delete_min_wait () in
+                  pop_t.(j) <- Repro_sim.Machine.probe_time ();
+                  (* service cost: the deliberate bottleneck *)
+                  Repro_sim.Machine.work (150 + Repro_util.Rng.int rng 150)
+                done)
+          done;
+          (* façade counters read after quiescence (probing the runtime's
+             lock statistics requires the simulation context) *)
+          Repro_sim.Machine.spawn (fun () ->
+              Repro_sim.Machine.work (1 lsl 50);
+              front_stats := q.Queue_adapter.stats ()))
+    in
+    let lat = Stats.create () in
+    let missed = ref 0 and users = Hashtbl.create (2 * jobs_total) in
+    let finish = ref 0 in
+    for j = 0 to jobs_total - 1 do
+      assert (pop_t.(j) >= 0);
+      Stats.add lat (float_of_int (pop_t.(j) - insert_t.(j)));
+      if pop_t.(j) > deadline.(j) then incr missed;
+      if pop_t.(j) > !finish then finish := pop_t.(j);
+      Hashtbl.replace users user.(j) ()
+    done;
+    let stat k = try List.assoc k !front_stats with Not_found -> 0.0 in
+    ( consumers,
+      object
+        method latency = Stats.mean lat
+        method miss_rate = 100.0 *. float_of_int !missed /. float_of_int jobs_total
+        method distinct_users = Hashtbl.length users
+        method parks = stat "parks"
+        method stalls = stat "backpressure_stalls"
+        method wakes = stat "wakes"
+        method makespan = !finish (* last pop, ignoring the stats reader *)
+      end )
+  in
+  let series =
+    List.map
+      (fun (name, mk) ->
+        let points =
+          Jobs.map ~jobs:options.jobs
+            (fun consumers ->
+              options.progress
+                (Printf.sprintf "scheduler: %s @ %d workers / %d frontends" name consumers
+                   (2 * consumers));
+              run_point ~mk ~consumers)
+            consumer_counts
+        in
+        (name, points))
+      backends
+  in
+  let table (name, points) =
+    let header =
+      [ "workers"; "frontends"; "sojourn"; "miss%"; "parks"; "stalls"; "makespan" ]
+    in
+    let rows =
+      List.map
+        (fun (c, m) ->
+          [
+            string_of_int c;
+            string_of_int (2 * c);
+            Table.float_cell ~decimals:0 m#latency;
+            Table.float_cell ~decimals:2 m#miss_rate;
+            Table.float_cell ~decimals:0 m#parks;
+            Table.float_cell ~decimals:0 m#stalls;
+            string_of_int m#makespan;
+          ])
+        points
+    in
+    "--- " ^ name ^ " ---\n" ^ Table.render ~header rows
+  in
+  let last (_, points) = snd (List.nth points (List.length points - 1)) in
+  let first_series = List.hd series in
+  let body =
+    Printf.sprintf
+      "EDF job scheduler through the bounded/blocking façade (capacity %d):\n\
+       %d jobs per point from a %d-user id space (%d distinct users at the\n\
+       last point), 2 front-end producers per worker, bursty arrivals,\n\
+       deadline = arrival + slack.  sojourn = mean insert->pop cycles;\n\
+       miss%% = jobs popped past their deadline; parks = worker waits on\n\
+       empty; stalls = producer backpressure parks.\n\n"
+      capacity jobs_total user_space (last first_series)#distinct_users
+    ^ String.concat "\n" (List.map table series)
+  in
+  let top_consumers = List.nth consumer_counts (List.length consumer_counts - 1) in
+  {
+    id = "scheduler";
+    title = "millions-of-users EDF task scheduler on the bounded/blocking façade";
+    body;
+    data =
+      List.map
+        (fun (name, points) ->
+          ( name,
+            List.map (fun (c, m) -> (float_of_int c, m#latency, m#miss_rate)) points ))
+        series;
+    indicators =
+      List.concat_map
+        (fun (name, _ as s) ->
+          let m = last s in
+          [
+            (Printf.sprintf "%s miss rate %% @ %d workers" name top_consumers, m#miss_rate);
+            ( Printf.sprintf "%s backpressure stalls @ %d workers" name top_consumers,
+              m#stalls );
+          ])
+        series;
+  }
+
 let all =
   [
     ("fig2", fig2);
@@ -826,4 +1018,5 @@ let all =
     ("ablation-bounded-range", ablation_bounded_range);
     ("ablation-memory-model", ablation_memory_model);
     ("ablation-elimination", ablation_elimination);
+    ("scheduler", scheduler);
   ]

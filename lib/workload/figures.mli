@@ -103,5 +103,15 @@ val ablation_elimination : options -> result
     to 64 processors comparing queued cycles on the hottest (head-of-
     list) cache line, and the front end's rendezvous counters. *)
 
+val scheduler : options -> result
+(** A12: the flagship blocking scenario — an earliest-deadline-first task
+    scheduler for a 2,000,000-user id space, built on the bounded/blocking
+    façade ({!Repro_bounded.Bounded_queue}).  Bursty front-end producers
+    push deadline-keyed jobs through [insert_wait], half as many workers
+    drain through [delete_min_wait]; sweeps the worker count over >= 2
+    backends and reports mean sojourn, deadline-miss rate, worker parks
+    and backpressure stalls.  In {!result.data} the y-columns are mean
+    sojourn (cycles) and miss rate (%), keyed by worker count. *)
+
 val all : (string * (options -> result)) list
 (** Every runner, keyed by id, in presentation order. *)

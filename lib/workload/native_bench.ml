@@ -35,13 +35,13 @@ let run (impl : Queue_adapter.impl) (w : Benchmark.workload) =
           Stats.add insert_stats.(p) (now_ns () -. t0)
         end
         else begin
-          ignore (q.Queue_adapter.delete_min ());
+          ignore (q.Queue_adapter.try_delete_min ());
           Stats.add delete_stats.(p) (now_ns () -. t0)
         end
       done);
   let wall_ns = now_ns () -. started in
   let rec drain n =
-    match q.Queue_adapter.delete_min () with None -> n | Some _ -> drain (n + 1)
+    match q.Queue_adapter.try_delete_min () with None -> n | Some _ -> drain (n + 1)
   in
   let final_size = drain 0 in
   let merge arr = Array.fold_left Stats.merge (Stats.create ()) arr in

@@ -1,6 +1,8 @@
 type instance = {
   insert : int -> int -> unit;
-  delete_min : unit -> (int * int) option;
+  insert_wait : int -> int -> unit;
+  try_delete_min : unit -> (int * int) option;
+  delete_min_wait : unit -> int * int;
   stats : unit -> (string * float) list;
 }
 
@@ -23,21 +25,64 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module Funnel = Repro_funnel.Combining_funnel.Make (R)
   module Bins = Repro_funnel.Bin_queue.Make (R)
   module MQ = Repro_multiqueue.Multiqueue.Make (R) (Key)
+  module Bounded = Repro_bounded.Bounded_queue.Make (R)
+
+  (* Uniform instance constructor: wires the core counters every instance
+     reports ([ops] counted host-side; [lock_acquisitions] and
+     [lock_try_failures] differenced from the runtime's own counters, so
+     they need no per-backend instrumentation) and derives the blocking
+     entry points of an unbounded backend.  An unbounded queue is never
+     full, so [insert_wait] is [insert]; [delete_min_wait] polls — real
+     parking comes from the {!bounded} façade, which replaces both. *)
+  let instance ~insert ~try_delete_min ~stats () =
+    let ops = ref 0 in
+    let base_acq, base_fail = R.lock_stats () in
+    let rec poll_pop () =
+      match try_delete_min () with
+      | Some kv -> kv
+      | None ->
+        R.yield ();
+        poll_pop ()
+    in
+    {
+      insert =
+        (fun k v ->
+          incr ops;
+          insert k v);
+      insert_wait =
+        (fun k v ->
+          incr ops;
+          insert k v);
+      try_delete_min =
+        (fun () ->
+          incr ops;
+          try_delete_min ());
+      delete_min_wait =
+        (fun () ->
+          incr ops;
+          poll_pop ());
+      stats =
+        (fun () ->
+          let acq, fail = R.lock_stats () in
+          ("ops", float_of_int !ops)
+          :: ("lock_acquisitions", float_of_int (acq - base_acq))
+          :: ("lock_try_failures", float_of_int (fail - base_fail))
+          :: stats ());
+    }
 
   let skipqueue_instance ~mode ?p ?max_level ?seed () =
     let q = SQ.create ~mode ?p ?max_level ?seed () in
-    {
-      insert = (fun k v -> ignore (SQ.insert q k v));
-      delete_min = (fun () -> SQ.delete_min q);
-      stats =
-        (fun () ->
-          let s = SQ.stats q in
-          [
-            ("hunt_steps", float_of_int s.SQ.hunt_steps);
-            ("swap_losses", float_of_int s.SQ.swap_losses);
-            ("stale_skips", float_of_int s.SQ.stale_skips);
-          ]);
-    }
+    instance
+      ~insert:(fun k v -> ignore (SQ.insert q k v))
+      ~try_delete_min:(fun () -> SQ.delete_min q)
+      ~stats:(fun () ->
+        let s = SQ.stats q in
+        [
+          ("hunt_steps", float_of_int s.SQ.hunt_steps);
+          ("swap_losses", float_of_int s.SQ.swap_losses);
+          ("stale_skips", float_of_int s.SQ.stale_skips);
+        ])
+      ()
 
   let skipqueue ?p ?max_level ?seed () =
     {
@@ -69,18 +114,17 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
               (* final sweep once everything quiesced *)
               wait (1 lsl 45);
               ignore (SQ.Reclaim.collect recl));
-          {
-            insert = (fun k v -> ignore (SQ.insert q k v));
-            delete_min = (fun () -> SQ.delete_min q);
-            stats =
-              (fun () ->
-                let s = SQ.Reclaim.stats recl in
-                [
-                  ("retired", float_of_int s.SQ.Reclaim.retired);
-                  ("reclaimed", float_of_int s.SQ.Reclaim.reclaimed);
-                  ("pending", float_of_int s.SQ.Reclaim.pending);
-                ]);
-          });
+          instance
+            ~insert:(fun k v -> ignore (SQ.insert q k v))
+            ~try_delete_min:(fun () -> SQ.delete_min q)
+            ~stats:(fun () ->
+              let s = SQ.Reclaim.stats recl in
+              [
+                ("retired", float_of_int s.SQ.Reclaim.retired);
+                ("reclaimed", float_of_int s.SQ.Reclaim.reclaimed);
+                ("pending", float_of_int s.SQ.Reclaim.pending);
+              ])
+            ());
     }
 
   let relaxed_skipqueue ?p ?max_level ?seed () =
@@ -104,28 +148,27 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       Elim.create ~mode ?p ?max_level ?seed ?slots ?width ?window ?poll_cycles
         ?serve_cap ?bound_every ?adaptive ()
     in
-    {
-      insert = (fun k v -> ignore (Elim.insert q k v));
-      delete_min = (fun () -> Elim.delete_min q);
-      stats =
-        (fun () ->
-          let f = Elim.front_stats q in
-          let s = Elim.queue_stats q in
-          [
-            ("eliminated", float_of_int f.Elim.eliminated);
-            ("fresh_refusals", float_of_int f.Elim.fresh_refusals);
-            ("served", float_of_int f.Elim.served);
-            ("handoff_empties", float_of_int f.Elim.handoff_empties);
-            ("batches", float_of_int f.Elim.batches);
-            ("timeouts", float_of_int f.Elim.timeouts);
-            ("collisions", float_of_int f.Elim.collisions);
-            ("width", float_of_int f.Elim.width);
-            ("window", float_of_int f.Elim.window);
-            ("hunt_steps", float_of_int s.Elim.SQ.hunt_steps);
-            ("swap_losses", float_of_int s.Elim.SQ.swap_losses);
-            ("stale_skips", float_of_int s.Elim.SQ.stale_skips);
-          ]);
-    }
+    instance
+      ~insert:(fun k v -> ignore (Elim.insert q k v))
+      ~try_delete_min:(fun () -> Elim.delete_min q)
+      ~stats:(fun () ->
+        let f = Elim.front_stats q in
+        let s = Elim.queue_stats q in
+        [
+          ("eliminated", float_of_int f.Elim.eliminated);
+          ("fresh_refusals", float_of_int f.Elim.fresh_refusals);
+          ("served", float_of_int f.Elim.served);
+          ("handoff_empties", float_of_int f.Elim.handoff_empties);
+          ("batches", float_of_int f.Elim.batches);
+          ("timeouts", float_of_int f.Elim.timeouts);
+          ("collisions", float_of_int f.Elim.collisions);
+          ("width", float_of_int f.Elim.width);
+          ("window", float_of_int f.Elim.window);
+          ("hunt_steps", float_of_int s.Elim.SQ.hunt_steps);
+          ("swap_losses", float_of_int s.Elim.SQ.swap_losses);
+          ("stale_skips", float_of_int s.Elim.SQ.stale_skips);
+        ])
+      ()
 
   let elim_skipqueue ?p ?max_level ?seed ?slots ?width ?window ?poll_cycles
       ?serve_cap ?bound_every ?adaptive () =
@@ -167,11 +210,11 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       create =
         (fun () ->
           let h = Heap.create ?capacity () in
-          {
-            insert = (fun k v -> Heap.insert h k v);
-            delete_min = (fun () -> Heap.delete_min h);
-            stats = (fun () -> []);
-          });
+          instance
+            ~insert:(fun k v -> Heap.insert h k v)
+            ~try_delete_min:(fun () -> Heap.delete_min h)
+            ~stats:(fun () -> [])
+            ());
     }
 
   let funnel_list ?layer_widths ?collision_window () =
@@ -182,19 +225,18 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       create =
         (fun () ->
           let q = FL.create ?layer_widths ?collision_window () in
-          {
-            insert = (fun k v -> FL.insert q k v);
-            delete_min = (fun () -> FL.delete_min q);
-            stats =
-              (fun () ->
-                let s = FL.funnel_stats q in
-                let module F = Repro_funnel.Combining_funnel.Make (R) in
-                [
-                  ("batches", float_of_int s.F.batches);
-                  ("combines", float_of_int s.F.combines);
-                  ("largest_batch", float_of_int s.F.largest_batch);
-                ]);
-          });
+          instance
+            ~insert:(fun k v -> FL.insert q k v)
+            ~try_delete_min:(fun () -> FL.delete_min q)
+            ~stats:(fun () ->
+              let s = FL.funnel_stats q in
+              let module F = Repro_funnel.Combining_funnel.Make (R) in
+              [
+                ("batches", float_of_int s.F.batches);
+                ("combines", float_of_int s.F.combines);
+                ("largest_batch", float_of_int s.F.largest_batch);
+              ])
+            ());
     }
 
   let bin_queue ~range () =
@@ -205,11 +247,11 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       create =
         (fun () ->
           let q = Bins.create ~range () in
-          {
-            insert = (fun k v -> Bins.insert q k v);
-            delete_min = (fun () -> Bins.delete_min q);
-            stats = (fun () -> []);
-          });
+          instance
+            ~insert:(fun k v -> Bins.insert q k v)
+            ~try_delete_min:(fun () -> Bins.delete_min q)
+            ~stats:(fun () -> [])
+            ());
     }
 
   let multiqueue ?shard_factor ?shards ?choice ?stickiness ?heap_cycles_per_level
@@ -224,20 +266,19 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
             MQ.create ?shard_factor ?shards ?choice ?stickiness
               ?heap_cycles_per_level ?seed ~procs ()
           in
-          {
-            insert = (fun k v -> MQ.insert q k v);
-            delete_min = (fun () -> MQ.delete_min q);
-            stats =
-              (fun () ->
-                let s = MQ.stats q in
-                [
-                  ("shards", float_of_int (MQ.shards q));
-                  ("lock_failures", float_of_int s.MQ.lock_failures);
-                  ("empty_pops", float_of_int s.MQ.empty_pops);
-                  ("full_sweeps", float_of_int s.MQ.full_sweeps);
-                  ("resticks", float_of_int s.MQ.resticks);
-                ]);
-          });
+          instance
+            ~insert:(fun k v -> MQ.insert q k v)
+            ~try_delete_min:(fun () -> MQ.delete_min q)
+            ~stats:(fun () ->
+              let s = MQ.stats q in
+              [
+                ("shards", float_of_int (MQ.shards q));
+                ("lock_failures", float_of_int s.MQ.lock_failures);
+                ("empty_pops", float_of_int s.MQ.empty_pops);
+                ("full_sweeps", float_of_int s.MQ.full_sweeps);
+                ("resticks", float_of_int s.MQ.resticks);
+              ])
+            ());
     }
 
   (* Ablation A1: Delete-mins regulated by a combining funnel in front of
@@ -265,14 +306,41 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
               ~kind_of:(fun _ -> 0)
               ()
           in
+          instance
+            ~insert:(fun k v -> ignore (SQ.insert q k v))
+            ~try_delete_min:(fun () ->
+              let req = { result = None; done_ = false } in
+              Funnel.perform funnel req;
+              req.result)
+            ~stats:(fun () -> [])
+            ());
+    }
+
+  (* Bounded/blocking façade over any implementation: capacity bound,
+     backpressure on insert, parking delete-min (lib/bounded).  The façade
+     serializes each side on one lock but forwards elements unchanged, so
+     the wrapped structure keeps its [spec] and [dedups] contract.  The
+     non-blocking [insert] maps to [insert_wait]: a bounded queue has no
+     silent-drop insert, and the [instance] record has no failure
+     channel. *)
+  let bounded ?(capacity = 1024) (impl : impl) =
+    {
+      name = "bounded:" ^ impl.name;
+      dedups = impl.dedups;
+      spec = impl.spec;
+      create =
+        (fun () ->
+          let inner = impl.create () in
+          let b =
+            Bounded.create ~capacity ~dedups:impl.dedups ~name:"bounded"
+              ~insert:inner.insert ~try_delete_min:inner.try_delete_min ()
+          in
           {
-            insert = (fun k v -> ignore (SQ.insert q k v));
-            delete_min =
-              (fun () ->
-                let req = { result = None; done_ = false } in
-                Funnel.perform funnel req;
-                req.result);
-            stats = (fun () -> []);
+            insert = (fun k v -> Bounded.insert_wait b k v);
+            insert_wait = (fun k v -> Bounded.insert_wait b k v);
+            try_delete_min = (fun () -> Bounded.try_delete_min b);
+            delete_min_wait = (fun () -> Bounded.delete_min_wait b);
+            stats = (fun () -> Bounded.stats b @ inner.stats ());
           });
     }
 end
@@ -318,6 +386,14 @@ let all = function
       Sim.funneled_skipqueue ();
       Sim.skipqueue_with_reclamation ();
       Sim.bin_queue ~range:65_536 ();
+      (* Bounded/blocking façade entries.  The registry capacity (1024) is
+         far above what the standard mixed-ops check profile admits, so
+         these behave as their inner backend under that sweep; capacity
+         pressure is exercised by the dedicated blocking harness. *)
+      Sim.bounded (Sim.skipqueue ());
+      Sim.bounded (Sim.relaxed_skipqueue ());
+      Sim.bounded (Sim.hunt_heap ());
+      Sim.bounded (Sim.multiqueue ~procs:registry_procs ());
     ]
   | Native ->
     [
@@ -328,6 +404,10 @@ let all = function
       Native.hunt_heap ();
       Native.funnel_list ();
       Native.multiqueue ~procs:registry_procs ();
+      Native.bounded (Native.skipqueue ());
+      Native.bounded (Native.relaxed_skipqueue ());
+      Native.bounded (Native.hunt_heap ());
+      Native.bounded (Native.multiqueue ~procs:registry_procs ());
     ]
 
 let names backend = List.map (fun i -> i.name) (all backend)

@@ -13,11 +13,36 @@
 
 type instance = {
   insert : int -> int -> unit;
-  delete_min : unit -> (int * int) option;
+      (** non-blocking insert — on unbounded backends it always succeeds;
+          the {!Over.bounded} façade maps it to [insert_wait] (a bounded
+          queue has no silent-drop insert) *)
+  insert_wait : int -> int -> unit;
+      (** blocking insert: parks under backpressure on the bounded façade;
+          identical to [insert] on unbounded backends *)
+  try_delete_min : unit -> (int * int) option;
+      (** non-blocking delete-min: [None] when (observed) empty *)
+  delete_min_wait : unit -> int * int;
+      (** blocking delete-min: parks until an element is available.  The
+          bounded façade parks on a condition variable; unbounded backends
+          fall back to a yield-poll loop (no condition to park on — an
+          unbounded structure cannot distinguish "empty now" from "empty
+          forever"). *)
   stats : unit -> (string * float) list;
-      (** implementation-specific counters for the ablation reports, as
-          structured name/value pairs (render with
-          [Printf.sprintf "%s=%.0f"]; no prose parsing downstream) *)
+      (** counters for the ablation reports, as structured name/value
+          pairs (render with [Printf.sprintf "%s=%.0f"]; no prose parsing
+          downstream).  Every instance built through this module reports a
+          common core, measured by the adapter itself:
+          - ["ops"] — operations invoked through this instance (all four
+            entry points);
+          - ["lock_acquisitions"] — runtime lock grants since the instance
+            was created (differenced {!Repro_runtime.Runtime_intf.S.lock_stats};
+            process-wide, so attribute it only when one instance runs at a
+            time — true in the bench/check harnesses);
+          - ["lock_try_failures"] — failed [try_acquire] attempts, same
+            caveats.
+          The bounded façade prepends its front-end counters ["parks"],
+          ["wakes"] and ["backpressure_stalls"].  Implementation-specific
+          counters follow the core. *)
 }
 
 (** The correctness contract an implementation claims — which checker
@@ -131,6 +156,14 @@ module Over (R : Repro_runtime.Runtime_intf.S) : sig
     impl
   (** The relaxed MultiQueue ({!Repro_multiqueue.Multiqueue}): c-way choice
       over [shard_factor * procs] try-locked sequential heaps. *)
+
+  val bounded : ?capacity:int -> impl -> impl
+  (** [bounded ~capacity impl] wraps [impl] in the two-lock
+      bounded/blocking façade ({!Repro_bounded.Bounded_queue}): at most
+      [capacity] (default 1024) elements admitted, [insert_wait] parks
+      under backpressure, [delete_min_wait] parks on empty.  The wrapped
+      implementation keeps its [spec] and [dedups] contract; the name
+      becomes ["bounded:" ^ impl.name]. *)
 end
 
 (** Implementations over the simulator runtime. *)
@@ -190,6 +223,8 @@ module Sim : sig
     procs:int ->
     unit ->
     impl
+
+  val bounded : ?capacity:int -> impl -> impl
 end
 
 (** The same implementations over real domains, for native runs. *)
@@ -240,6 +275,8 @@ module Native : sig
     impl
   (** [heap_cycles_per_level] is pinned to 0: the real heap walk already
       costs real time under this backend. *)
+
+  val bounded : ?capacity:int -> impl -> impl
 end
 
 (** {2 Name-keyed registry}
@@ -253,7 +290,9 @@ type backend = Sim | Native
 val all : backend -> impl list
 (** Every default-configured implementation available on that backend (the
     simulator additionally has the funnel-front and reclamation ablation
-    variants and the bounded-range bin queue). *)
+    variants and the bounded-range bin queue).  Both backends also expose
+    ["bounded:<name>"] façade entries (capacity 1024) over the skipqueue,
+    relaxed skipqueue, heap and multiqueue. *)
 
 val names : backend -> string list
 

@@ -20,8 +20,12 @@ let ins ?(proc = 0) ~at ?(dur = 1) key id =
 let del ?(proc = 0) ~at ?(dur = 1) result =
   { O.proc; op = O.Delete_min { result }; invoked = at; responded = at + dur }
 
-let hist ?(dedups = false) ?(spec = QA.Linearizable) ?(drained = []) events =
-  { Check.impl = "test"; dedups; spec; seed = 0L; events; drained }
+let hist ?(dedups = false) ?(spec = QA.Linearizable) ?(drained = []) ?capacity ?(spans = [])
+    events =
+  { Check.impl = "test"; dedups; spec; seed = 0L; events; drained; capacity; spans }
+
+let span ?(parks = 1) ~parked_at ~woken_at event =
+  { History.event; parks; parked_at; woken_at }
 
 let is_pass = function Check.Pass -> true | Check.Fail _ | Check.Skip _ -> false
 let is_fail = function Check.Fail _ -> true | Check.Pass | Check.Skip _ -> false
@@ -190,6 +194,41 @@ let test_for_spec_suites () =
     (List.mem "rank-envelope" (names QA.Rank_bounded)
     && not (List.mem "quiescent" (names QA.Rank_bounded)))
 
+(* --- blocking checks ------------------------------------------------------- *)
+
+let test_blocking_wakeups () =
+  check "no parked operation skips" true (is_skip (Check.blocking_wakeups (hist [])));
+  (* a consumer parks at 2, the producer's insert starts at 4 (before the
+     delete responds at 10), the wake hands the element over: legal *)
+  let d = del ~proc:1 ~at:1 ~dur:9 (Some (5, 1)) in
+  let good = hist [ ins ~at:4 5 1; d ] ~spans:[ span ~parked_at:2 ~woken_at:8 d ] in
+  check "woken delete with a justifying insert passes" true
+    (is_pass (Check.blocking_wakeups good));
+  (* a parked delete that still came back EMPTY: the wake lost its element *)
+  let e = del ~proc:1 ~at:1 ~dur:9 None in
+  let empty = hist [ ins ~at:4 5 1; e ] ~spans:[ span ~parked_at:2 ~woken_at:8 e ] in
+  check "blocked EMPTY fails" true (is_fail (Check.blocking_wakeups empty));
+  (* the insert that justifies the wake only started after the delete had
+     already responded — the element came from nowhere *)
+  let late = hist [ ins ~at:20 5 1; d ] ~spans:[ span ~parked_at:2 ~woken_at:8 d ] in
+  check "insert after the response fails" true (is_fail (Check.blocking_wakeups late));
+  (* park/wake clocks must nest inside the operation's span *)
+  let escaped = hist [ ins ~at:4 5 1; d ] ~spans:[ span ~parked_at:2 ~woken_at:12 d ] in
+  check "wake after the response fails" true (is_fail (Check.blocking_wakeups escaped))
+
+let test_capacity_bound () =
+  let events = [ ins ~at:0 5 1; ins ~proc:2 ~at:2 3 2 ] in
+  check "no capacity in force skips" true (is_skip (Check.capacity_bound (hist events)));
+  check "two settled inserts fit capacity 2" true
+    (is_pass (Check.capacity_bound (hist ~capacity:2 events)));
+  check "two settled inserts overflow capacity 1" true
+    (is_fail (Check.capacity_bound (hist ~capacity:1 events)));
+  (* a delete in flight at the second insert's response may already have
+     removed the first element, so the conservative bound exempts it *)
+  let with_inflight = events @ [ del ~proc:1 ~at:1 ~dur:10 (Some (5, 1)) ] in
+  check "in-flight delete relaxes the bound" true
+    (is_pass (Check.capacity_bound (hist ~capacity:1 with_inflight)))
+
 (* --- harness: determinism, replayability, clean backends ------------------ *)
 
 let small_profile =
@@ -277,6 +316,69 @@ let test_broken_elim_caught () =
     check "violation replays from its seed" true
       (List.exists (fun v' -> v'.Harness.seed = v.Harness.seed) s'.Harness.violations)
 
+(* --- blocking harness ------------------------------------------------------ *)
+
+let small_blocking =
+  {
+    Harness.producers = 3;
+    consumers = 2;
+    items_per_producer = 10;
+    capacity = 4;
+    burst = 4;
+    key_range = 64;
+    jitter = 16;
+  }
+
+let test_blocking_harness_deterministic () =
+  let impl = QA.Sim.bounded ~capacity:small_blocking.Harness.capacity (QA.Sim.skipqueue ()) in
+  let spans h = List.map (fun s -> (s.History.event, s.History.parks)) h.Check.spans in
+  let a = Harness.run_blocking ~profile:small_blocking impl 7L in
+  let b = Harness.run_blocking ~profile:small_blocking impl 7L in
+  check "same seed, identical blocking history" true
+    (strip a = strip b && spans a = spans b);
+  check "capacity carried into the history" true (a.Check.capacity = Some 4);
+  check "somebody parked" true (a.Check.spans <> [])
+
+let test_blocking_sweep_clean () =
+  let seeds = Harness.seeds ~start:1L ~count:3 in
+  List.iter
+    (fun impl ->
+      let s =
+        Harness.sweep_blocking
+          ~profile:small_blocking
+          (QA.Sim.bounded ~capacity:small_blocking.Harness.capacity impl)
+          seeds
+      in
+      Alcotest.(check (list string))
+        (s.Harness.impl ^ " blocking-clean")
+        []
+        (List.map (fun v -> v.Harness.check ^ ": " ^ v.Harness.message) s.Harness.violations))
+    [ QA.Sim.skipqueue (); QA.Sim.multiqueue ~procs:8 () ]
+
+let test_broken_wakeup_caught () =
+  (* The lost-wakeup mutant drops the chain-signals; some schedule strands
+     a parked processor, which the simulator reports as a deadlock and the
+     harness converts into an execution violation naming the condition. *)
+  let profile = { small_blocking with Harness.capacity = 4 } in
+  let seeds = Harness.seeds ~start:1L ~count:5 in
+  let s = Harness.sweep_blocking ~profile (Broken.bounded_skipqueue ~capacity:4 ()) seeds in
+  check "lost wakeup produces violations" true (s.Harness.violations <> []);
+  match s.Harness.violations with
+  | [] -> ()
+  | v :: _ ->
+    let has sub =
+      let msg = v.Harness.message in
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    check "diagnostic names a broken-bounded condition" true (has "broken-bounded");
+    let s' =
+      Harness.sweep_blocking ~profile (Broken.bounded_skipqueue ~capacity:4 ()) [ v.Harness.seed ]
+    in
+    check "violation replays from its seed" true
+      (List.exists (fun v' -> v'.Harness.seed = v.Harness.seed) s'.Harness.violations)
+
 let () =
   Alcotest.run "check"
     [
@@ -291,6 +393,8 @@ let () =
           Alcotest.test_case "strict exhaustive windows" `Quick test_strict_exhaustive;
           Alcotest.test_case "rank envelope" `Quick test_rank_envelope;
           Alcotest.test_case "per-spec suites" `Quick test_for_spec_suites;
+          Alcotest.test_case "blocking wakeups" `Quick test_blocking_wakeups;
+          Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
         ] );
       ( "harness",
         [
@@ -300,5 +404,12 @@ let () =
           Alcotest.test_case "parallel sweep identical" `Quick test_sweep_jobs_identity;
           Alcotest.test_case "broken queue caught" `Quick test_broken_queue_caught;
           Alcotest.test_case "broken elimination caught" `Quick test_broken_elim_caught;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_blocking_harness_deterministic;
+          Alcotest.test_case "blocking sweep clean" `Quick test_blocking_sweep_clean;
+          Alcotest.test_case "lost wakeup caught" `Quick test_broken_wakeup_caught;
         ] );
     ]

@@ -868,6 +868,213 @@ let test_barrier_native () =
       done);
   check_int "phases counted" 10 (Native_barrier.phases b)
 
+(* --- condition variables -------------------------------------------------- *)
+
+let test_cond_wait_signal () =
+  (* classic guarded handoff: the waiter parks until the flag flips *)
+  let observed = ref (-1) in
+  let report =
+    Machine.run (fun () ->
+        let lock = Machine.lock_create ~name:"m" () in
+        let cv = Machine.cond_create ~name:"cv" lock in
+        let flag = Sim_rt.shared 0 in
+        Machine.spawn (fun () ->
+            Machine.lock_acquire lock;
+            while Sim_rt.read flag = 0 do
+              Machine.cond_wait cv
+            done;
+            observed := Machine.probe_time ();
+            Machine.lock_release lock);
+        Machine.spawn (fun () ->
+            Machine.work 5_000;
+            Machine.lock_acquire lock;
+            Sim_rt.write flag 1;
+            Machine.cond_signal cv;
+            Machine.lock_release lock))
+  in
+  check_bool "waiter resumed after the signal" true (!observed >= 5_000);
+  check_int "one parking" 1 report.Machine.cond_parkings;
+  check_bool "waited cycles accounted" true (report.Machine.cond_wait_cycles >= 4_000)
+
+let test_cond_fifo_wake_order () =
+  (* Waiters park in a staggered, known order; each signal must wake the
+     longest-parked one (FIFO), exactly like the lock handoff queue. *)
+  let order = ref [] in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let lock = Machine.lock_create () in
+        let cv = Machine.cond_create lock in
+        let turn = Sim_rt.shared 0 in
+        for p = 1 to 6 do
+          Machine.spawn (fun () ->
+              Machine.work (p * 1_000);
+              Machine.lock_acquire lock;
+              while Sim_rt.read turn = 0 do
+                Machine.cond_wait cv
+              done;
+              Sim_rt.write turn (Sim_rt.read turn - 1);
+              order := p :: !order;
+              Machine.cond_signal cv;
+              Machine.lock_release lock)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work 50_000;
+            Machine.lock_acquire lock;
+            Sim_rt.write turn 6;
+            Machine.cond_signal cv;
+            Machine.lock_release lock))
+  in
+  Alcotest.(check (list int)) "FIFO wake order" [ 1; 2; 3; 4; 5; 6 ] (List.rev !order)
+
+let test_cond_broadcast_wakes_all () =
+  let woken = ref 0 in
+  let report =
+    Machine.run (fun () ->
+        let lock = Machine.lock_create () in
+        let cv = Machine.cond_create lock in
+        let go = Sim_rt.shared 0 in
+        for _ = 1 to 5 do
+          Machine.spawn (fun () ->
+              Machine.lock_acquire lock;
+              while Sim_rt.read go = 0 do
+                Machine.cond_wait cv
+              done;
+              incr woken;
+              Machine.lock_release lock)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work 20_000;
+            Machine.lock_acquire lock;
+            Sim_rt.write go 1;
+            Machine.cond_broadcast cv;
+            Machine.lock_release lock))
+  in
+  check_int "all waiters woken" 5 !woken;
+  check_int "five parkings" 5 report.Machine.cond_parkings
+
+let test_cond_wait_without_lock_fails () =
+  Alcotest.check_raises "wait without holding the guarding lock"
+    (Failure "Machine: processor 0 waits on condition cv without holding lock m")
+    (fun () ->
+      ignore
+        (Machine.run (fun () ->
+             let lock = Machine.lock_create ~name:"m" () in
+             let cv = Machine.cond_create ~name:"cv" lock in
+             Machine.cond_wait cv)))
+
+let test_cond_deadlock_diagnostic () =
+  (* A processor parked on a never-signaled condition and another parked on
+     a lock; the diagnostic must split the counts and name the condition
+     with its guarding lock. *)
+  match
+    Machine.run (fun () ->
+        let m = Machine.lock_create ~name:"m" () in
+        let held = Machine.lock_create ~name:"held" () in
+        let cv = Machine.cond_create ~name:"cv" m in
+        Machine.lock_acquire held;
+        Machine.spawn (fun () ->
+            Machine.lock_acquire m;
+            Machine.cond_wait cv);
+        Machine.spawn (fun () ->
+            Machine.work 5_000;
+            Machine.lock_acquire held))
+  with
+  | (_ : Machine.report) -> Alcotest.fail "expected Deadlock"
+  | exception Machine.Deadlock msg ->
+    let contains sub =
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "splits lock/condition parkings" true
+      (contains "2 processor(s) parked (1 on locks, 1 on conditions)");
+    check_bool "names the condition and its lock" true
+      (contains "condition \"cv\" (lock \"m\") waited on by [1]");
+    check_bool "still names the lock waiter" true (contains "\"held\" held by 0, waited on by [2]")
+
+(* The producer/consumer shape every blocking test cares about, as one
+   reusable cond workload: 2 producers, 2 consumers, a capacity-4 buffer
+   guarded by one lock and two conditions. *)
+let cond_workload () =
+  let lock = Machine.lock_create ~name:"buf" () in
+  let not_full = Machine.cond_create ~name:"not_full" lock in
+  let not_empty = Machine.cond_create ~name:"not_empty" lock in
+  let size = Sim_rt.shared 0 in
+  let produced = Sim_rt.shared 0 in
+  for p = 0 to 1 do
+    Machine.spawn (fun () ->
+        (* arrive after the consumers so both conditions engage: the
+           consumers park on [not_empty] first, then outpaced producers
+           park on [not_full] once the buffer fills *)
+        Machine.work (2_000 * (p + 1));
+        for _ = 1 to 20 do
+          Machine.lock_acquire lock;
+          while Sim_rt.read size >= 4 do
+            Machine.cond_wait not_full
+          done;
+          Sim_rt.write size (Sim_rt.read size + 1);
+          Sim_rt.write produced (Sim_rt.read produced + 1);
+          Machine.cond_signal not_empty;
+          Machine.lock_release lock;
+          Machine.work (17 * (p + 1))
+        done)
+  done;
+  for c = 0 to 1 do
+    Machine.spawn (fun () ->
+        for _ = 1 to 20 do
+          Machine.lock_acquire lock;
+          while Sim_rt.read size = 0 do
+            Machine.cond_wait not_empty
+          done;
+          Sim_rt.write size (Sim_rt.read size - 1);
+          Machine.cond_signal not_full;
+          Machine.lock_release lock;
+          Machine.work (231 * (c + 1))
+        done)
+  done
+
+let cond_fingerprint_run ?perturb ~fast_path () =
+  let buf = Buffer.create 4096 in
+  let sink e = Buffer.add_string buf (Format.asprintf "%a@." Repro_sim.Trace.pp_event e) in
+  let report = Machine.run ?perturb ~tracer:sink ~fast_path cond_workload in
+  (Buffer.contents buf, report)
+
+let test_cond_fast_path_identity () =
+  (* The run-ahead fast path must be semantically invisible for parking
+     programs too: byte-identical trace, identical report. *)
+  let trace_on, on = cond_fingerprint_run ~fast_path:true () in
+  let trace_off, off = cond_fingerprint_run ~fast_path:false () in
+  Alcotest.(check string) "byte-identical traces" trace_off trace_on;
+  check_bool "identical reports" true (on = off);
+  check_bool "workload parked" true (on.Machine.cond_parkings > 0)
+
+let test_cond_perturbed_determinism_pinned () =
+  (* Park/wake order under a perturbation seed is a pure function of the
+     seed: same seed twice -> byte-identical trace; a different seed moves
+     at least something in this schedule-sensitive workload. *)
+  let run seed =
+    cond_fingerprint_run ~perturb:{ Machine.sched_seed = seed; jitter = 24 } ~fast_path:true ()
+  in
+  let t1, r1 = run 7L in
+  let t2, r2 = run 7L in
+  Alcotest.(check string) "seed 7 replays byte-identically" t1 t2;
+  check_bool "identical reports" true (r1 = r2);
+  let t3, _ = run 8L in
+  check_bool "a different seed perturbs the schedule" true (t1 <> t3)
+
+let test_cond_trace_profile () =
+  (* Trace.Summary must attribute parkings and waited cycles per condition
+     name, consistent with the report totals. *)
+  let summary = Repro_sim.Trace.Summary.create () in
+  let report = Machine.run ~tracer:(Repro_sim.Trace.Summary.sink summary) cond_workload in
+  let profile = Repro_sim.Trace.Summary.cond_profile summary in
+  let total_parkings = List.fold_left (fun acc (_, p, _) -> acc + p) 0 profile in
+  let total_waited = List.fold_left (fun acc (_, _, w) -> acc + w) 0 profile in
+  check_int "parkings attributed" report.Machine.cond_parkings total_parkings;
+  check_int "waited cycles attributed" report.Machine.cond_wait_cycles total_waited;
+  let appears name = List.exists (fun (n, _, _) -> n = name) profile in
+  check_bool "both conditions appear" true (appears "not_full" && appears "not_empty")
+
 let () =
   Alcotest.run "sim"
     [
@@ -925,6 +1132,21 @@ let () =
           Alcotest.test_case "sequential runs independent" `Quick test_nested_runs;
           Alcotest.test_case "spawn limit" `Quick test_spawn_limit;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+        ] );
+      ( "condition",
+        [
+          Alcotest.test_case "wait/signal handoff" `Quick test_cond_wait_signal;
+          Alcotest.test_case "FIFO wake order" `Quick test_cond_fifo_wake_order;
+          Alcotest.test_case "broadcast wakes all" `Quick test_cond_broadcast_wakes_all;
+          Alcotest.test_case "wait without lock fails" `Quick
+            test_cond_wait_without_lock_fails;
+          Alcotest.test_case "deadlock diagnostic names conditions" `Quick
+            test_cond_deadlock_diagnostic;
+          Alcotest.test_case "fast-path byte identity" `Quick
+            test_cond_fast_path_identity;
+          Alcotest.test_case "perturbed determinism pinned" `Quick
+            test_cond_perturbed_determinism_pinned;
+          Alcotest.test_case "trace profile" `Quick test_cond_trace_profile;
         ] );
       ( "barrier",
         [

@@ -242,13 +242,45 @@ let test_registry_instances_work () =
             q.QA.insert 3 30;
             q.QA.insert 1 10;
             q.QA.insert 2 20;
-            (match q.QA.delete_min () with
+            (match q.QA.try_delete_min () with
             | Some (k, _) -> ok := k >= 1 && k <= 3
             | None -> ok := false);
             ignore (q.QA.stats ()))
       in
       check (impl.QA.name ^ " runs") true !ok)
     (QA.all QA.Sim)
+
+let test_instance_stats_keys () =
+  (* The documented common core of [instance.stats]: every adapter reports
+     "ops", "lock_acquisitions" and "lock_try_failures"; the bounded
+     façade prepends its own "parks" / "wakes" / "backpressure_stalls". *)
+  let keys_of impl =
+    let keys = ref [] in
+    let (_ : Machine.report) =
+      Machine.run (fun () ->
+          let q = impl.QA.create () in
+          q.QA.insert_wait 2 20;
+          q.QA.insert 1 10;
+          (match q.QA.delete_min_wait () with
+          | k, _ -> check (impl.QA.name ^ " pops a min") true (k = 1 || k = 2));
+          keys := List.map fst (q.QA.stats ()))
+    in
+    !keys
+  in
+  let core = [ "ops"; "lock_acquisitions"; "lock_try_failures" ] in
+  List.iter
+    (fun impl ->
+      let keys = keys_of impl in
+      List.iter
+        (fun k -> check (impl.QA.name ^ " reports " ^ k) true (List.mem k keys))
+        (core
+        @
+        if String.length impl.QA.name >= 8 && String.sub impl.QA.name 0 8 = "bounded:"
+        then [ "parks"; "wakes"; "backpressure_stalls" ]
+        else []))
+    (QA.all QA.Sim);
+  check "registry carries bounded entries" true
+    (List.exists (fun i -> i.QA.name = "bounded:SkipQueue") (QA.all QA.Sim))
 
 (* --- figures machinery ----------------------------------------------------- *)
 
@@ -347,7 +379,8 @@ let test_trace_event_stream_consistent () =
     | Trace.Released { lock; _ } ->
       if Hashtbl.mem held lock then Hashtbl.remove held lock else incr violations
     | Trace.Accessed { start; finish; _ } -> if finish < start then incr violations
-    | Trace.Spawned _ | Trace.Exited _ | Trace.Parked _ -> ()
+    | Trace.Spawned _ | Trace.Exited _ | Trace.Parked _
+    | Trace.Cond_parked _ | Trace.Cond_woken _ -> ()
   in
   let (_ : Machine.report) =
     Machine.run ~tracer:sink (fun () ->
@@ -383,6 +416,8 @@ let test_trace_pp_event_coverage () =
       Trace.Released { proc = 0; lock = "l"; at = 3 };
       Trace.Parked { proc = 2; lock = "l"; at = 4 };
       Trace.Woken { proc = 2; lock = "l"; at = 8; waited = 4 };
+      Trace.Cond_parked { proc = 2; cond = "cv"; lock = "l"; at = 10 };
+      Trace.Cond_woken { proc = 2; cond = "cv"; lock = "l"; at = 15; waited = 5 };
     ]
   in
   List.iter
@@ -428,6 +463,7 @@ let () =
           Alcotest.test_case "miss message sorted" `Quick test_registry_miss_message;
           Alcotest.test_case "specs declared" `Quick test_registry_specs;
           Alcotest.test_case "every entry runs" `Quick test_registry_instances_work;
+          Alcotest.test_case "core stats keys" `Quick test_instance_stats_keys;
         ] );
       ( "figures",
         [
