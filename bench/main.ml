@@ -209,7 +209,13 @@ type sweep_cost = {
 let measure_sweep ~runs ~fast_path =
   let module QA = Repro_workload.Queue_adapter in
   let module B = Repro_workload.Benchmark in
-  let impls = [ QA.find QA.Sim "SkipQueue"; QA.find QA.Sim "Relaxed SkipQueue" ] in
+  let impls =
+    [
+      QA.find QA.Sim "SkipQueue";
+      QA.find QA.Sim "Relaxed SkipQueue";
+      QA.find QA.Sim "SkipQueue-lf";
+    ]
+  in
   let procs = [ 1; 2; 4; 8; 16; 32 ] in
   let events = ref 0 and accesses = ref 0 in
   let gc0 = Gc.quick_stat () in
@@ -301,7 +307,7 @@ let sim_throughput ~runs ~label ~json =
       Printf.sprintf
         {|  {
     "label": %S,
-    "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed)",
+    "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed + lock-free)",
     "runs_per_mode": %d,
     "simulated_events_per_sweep": %d,
     "simulated_accesses_per_sweep": %d,

@@ -10,6 +10,8 @@
      dune exec bin/check.exe -- --broken        # torn-SWAP mutant; exit 0 iff caught
      dune exec bin/check.exe -- --broken elim   # lost-rendezvous elimination mutant
      dune exec bin/check.exe -- --broken wakeup # lost-wakeup bounded façade mutant
+     dune exec bin/check.exe -- --broken lf-claim # torn two-step lock-free claim
+     dune exec bin/check.exe -- --broken lf-free  # premature free in the lock-free queue
 
    --blocking switches to the producer/consumer harness: each selected
    backend is wrapped in the bounded façade at the blocking profile's
@@ -43,8 +45,8 @@ let strip_bounded name =
   else name
 
 let blocking_defaults () =
-  [ QA.Sim.skipqueue (); QA.Sim.relaxed_skipqueue (); QA.Sim.hunt_heap ();
-    QA.Sim.multiqueue ~procs:16 () ]
+  [ QA.Sim.skipqueue (); QA.Sim.relaxed_skipqueue (); QA.Sim.skipqueue_lf ();
+    QA.Sim.hunt_heap (); QA.Sim.multiqueue ~procs:16 () ]
 
 (* (impl, uses-blocking-harness) pairs for the sweep. *)
 let select_impls backends broken blocking ~capacity =
@@ -53,14 +55,19 @@ let select_impls backends broken blocking ~capacity =
   | Some "swap" -> [ (Repro_check.Broken.skipqueue (), false) ]
   | Some "elim" -> [ (Repro_check.Broken.elim_skipqueue (), false) ]
   | Some "wakeup" -> [ (Repro_check.Broken.bounded_skipqueue ~capacity (), true) ]
+  | Some "lf-claim" -> [ (Repro_check.Broken.lf_claim_skipqueue (), false) ]
+  | Some "lf-free" -> [ (Repro_check.Broken.lf_free_skipqueue (), false) ]
   | Some "all" ->
     [
       (Repro_check.Broken.skipqueue (), false);
       (Repro_check.Broken.elim_skipqueue (), false);
       (Repro_check.Broken.bounded_skipqueue ~capacity (), true);
+      (Repro_check.Broken.lf_claim_skipqueue (), false);
+      (Repro_check.Broken.lf_free_skipqueue (), false);
     ]
   | Some other ->
-    Printf.eprintf "unknown mutant %S (known: swap, elim, wakeup, all)\n" other;
+    Printf.eprintf
+      "unknown mutant %S (known: swap, elim, wakeup, lf-claim, lf-free, all)\n" other;
     Stdlib.exit 2
   | None when blocking -> (
     match backends with
@@ -232,13 +239,16 @@ let broken =
            positional mutant name: $(b,swap) (torn-SWAP SkipQueue, the \
            default), $(b,elim) (lost-rendezvous elimination front end), \
            $(b,wakeup) (lost-wakeup bounded façade, swept under the \
-           blocking harness) or $(b,all).")
+           blocking harness), $(b,lf-claim) (torn two-step claim in the \
+           lock-free SkipQueue), $(b,lf-free) (premature physical free in \
+           the lock-free SkipQueue) or $(b,all).")
 
 let mutant =
   Arg.(
     value
     & pos 0 (some string) None
-    & info [] ~docv:"MUTANT" ~doc:"Mutant for $(b,--broken): swap, elim, wakeup or all.")
+    & info [] ~docv:"MUTANT"
+        ~doc:"Mutant for $(b,--broken): swap, elim, wakeup, lf-claim, lf-free or all.")
 
 let blocking =
   Arg.(
@@ -249,7 +259,7 @@ let blocking =
            selected backend is wrapped in the bounded façade at capacity 8 \
            and driven through $(b,insert_wait)/$(b,delete_min_wait), with \
            the blocking-aware checkers added.  Default backends: skipqueue, \
-           relaxed skipqueue, heap, multiqueue.")
+           relaxed skipqueue, lock-free skipqueue, heap, multiqueue.")
 
 let replay =
   Arg.(

@@ -16,6 +16,7 @@ let run_native domains_top scale quiet =
         "SkipQueue";
         "Relaxed SkipQueue";
         "SkipQueue-elim";
+        "SkipQueue-lf";
         "Heap";
         "FunnelList";
         "MultiQueue";
@@ -82,6 +83,7 @@ let ids =
     "Experiments to run: fig2..fig8, multiqueue, ablation-funnel-front, \
      ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
      ablation-bounded-range, ablation-memory-model, ablation-elimination, \
+     ablation-lockfree (CAS-marked deletion vs the locked SkipQueue), \
      scheduler (EDF jobs through the bounded/blocking façade), 'native' \
      (real-domain sweep), or 'all' (every simulator experiment)."
   in

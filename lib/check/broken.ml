@@ -123,6 +123,82 @@ let elim_skipqueue () =
           ~try_delete_min:(fun () -> Elim.delete_min q));
   }
 
+(* The torn-claim mutant: the lock-free SkipQueue over the same torn-CAS
+   runtime.  Every hot-path transition in the lock-free structure funnels
+   through CAS — the claim that marks delete-min's victim, the bottom-level
+   insert splice, the restructure's prefix unlink.  Torn into a read, a
+   scheduler point, and a write, the claim stops being atomic: two racing
+   Delete-mins both read the victim's bottom link as unmarked and both
+   install the mark, so one element is returned twice (oracle "deleted
+   twice"); torn insert splices lose one of two nodes CASed after the same
+   predecessor (conservation violation). *)
+module LfTorn =
+  Repro_skipqueue.Skipqueue_lf.Make (Torn_cas_runtime) (Repro_pqueue.Key.Int)
+
+let lf_claim_name = "BrokenLfClaimSkipQueue"
+
+let lf_claim_skipqueue () =
+  {
+    Repro_workload.Queue_adapter.name = lf_claim_name;
+    dedups = false;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        reads := 0;
+        let q = LfTorn.create ~restructure_threshold:1 () in
+        mk_instance
+          ~insert:(fun k v -> LfTorn.insert q k v)
+          ~try_delete_min:(fun () -> LfTorn.delete_min q));
+  }
+
+(* The premature-free mutant: the (correct, atomic) lock-free SkipQueue
+   with [broken_premature_free] planted — physical deletion frees nodes at
+   unlink time, clobbering their cells, instead of waiting for epoch
+   quiescence.  A delete-min that has claimed its victim but not yet read
+   the binding races the restructurer's free: the read then returns the
+   clobbered sentinel (an execution violation via the structure's own
+   loud failure) — or a recycled node is reached through a stale reference
+   and the walk misnavigates, losing elements (conservation violation).
+   Threshold 1 keeps the unlink pressure maximal so the window is hit
+   within a few seeds.  The runtime is atomic but keeps the access-budget
+   watchdog: a stale traverser that walks into a recycled node can loop
+   through the node's new chain position forever, and the watchdog turns
+   that hang into a reported violation. *)
+module Watchdog_runtime = struct
+  include Repro_sim.Sim_runtime
+
+  let read cell =
+    incr reads;
+    if !reads > budget then
+      raise
+        (Wedged
+           (Printf.sprintf
+              "premature-free corruption: structure wedged after %d reads (stale-edge cycle)"
+              budget));
+    Repro_sim.Sim_runtime.read cell
+end
+
+module LfGood =
+  Repro_skipqueue.Skipqueue_lf.Make (Watchdog_runtime) (Repro_pqueue.Key.Int)
+
+let lf_free_name = "BrokenLfFreeSkipQueue"
+
+let lf_free_skipqueue () =
+  {
+    Repro_workload.Queue_adapter.name = lf_free_name;
+    dedups = false;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        reads := 0;
+        let q =
+          LfGood.create ~restructure_threshold:1 ~broken_premature_free:true ()
+        in
+        mk_instance
+          ~insert:(fun k v -> LfGood.insert q k v)
+          ~try_delete_min:(fun () -> LfGood.delete_min q));
+  }
+
 (* The lost-wakeup mutant: the bounded façade with [broken_wakeup] set —
    cross-side signals are sent without holding the waiter's lock and the
    same-side chain-signals are dropped.  A consumer that has observed

@@ -27,6 +27,27 @@ val elim_skipqueue : unit -> Repro_workload.Queue_adapter.impl
     inserts matched to one deleter) drop elements; the conservation
     checker catches them ([bin/check --broken elim]).  Simulator-only. *)
 
+val lf_claim_name : string
+
+val lf_claim_skipqueue : unit -> Repro_workload.Queue_adapter.impl
+(** The torn two-step-claim mutant ([bin/check --broken lf-claim]): the
+    lock-free SkipQueue over the torn-CAS runtime.  Delete-min's claim —
+    the CAS that marks the victim's bottom link — decays into a read,
+    a scheduler point and a write, so two racing claims both win one node
+    and an element is delivered twice; torn insert splices lose elements.
+    Simulator-only. *)
+
+val lf_free_name : string
+
+val lf_free_skipqueue : unit -> Repro_workload.Queue_adapter.impl
+(** The premature-free mutant ([bin/check --broken lf-free]): the correct
+    lock-free SkipQueue with [broken_premature_free] — the restructurer
+    frees and clobbers unlinked nodes immediately instead of waiting for
+    epoch quiescence, so a claimant still holding its victim reads the
+    clobbered sentinel (loud failure → execution violation) or a stale
+    traverser walks into a recycled node and loses elements.
+    Simulator-only. *)
+
 val wakeup_name : string
 
 val bounded_skipqueue :

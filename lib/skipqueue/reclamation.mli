@@ -29,11 +29,15 @@ module Make (R : Repro_runtime.Runtime_intf.S) : sig
   (** [retire t finalizer] stamps the retired node with the current time
       and appends it to the calling processor's garbage list. *)
 
-  val collect : t -> int
+  val collect : ?upto:int -> t -> int
   (** One collector pass (the paper dedicates a processor to looping on
       this): computes the oldest entry time among registered processors and
       reclaims every garbage node deleted strictly before it.  Returns the
-      number reclaimed. *)
+      number reclaimed.  [upto] restricts the pass to processor ids in
+      [0, upto) — exact (not merely conservative) when the caller tracks a
+      high-water mark of ids that ever entered, because an untouched slot
+      reads [max_int] and contributes no garbage; it only skips the shared
+      reads of slots that cannot matter. *)
 
   type stats = { retired : int; reclaimed : int; pending : int }
 

@@ -809,6 +809,134 @@ let ablation_elimination options =
       ];
   }
 
+(* A13: the lock-free SkipQueue (CAS-marked deletion, batched physical
+   unlink) against the locked original and the elimination front end, on
+   the fig7 and fig5/fig8 workloads, plus the fully traced >= 64-processor
+   head probe: claims touch one bottom link each, so the queued cycles on
+   the head line should sit well below the locked hunt's. *)
+let ablation_lockfree options =
+  let impls () =
+    [
+      Queue_adapter.Sim.skipqueue ();
+      Queue_adapter.Sim.elim_skipqueue ();
+      Queue_adapter.Sim.skipqueue_lf ();
+    ]
+  in
+  let series_for ~initial ~ops ~insert_ratio =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      (impls ())
+  in
+  let fig7_series = series_for ~initial:1000 ~ops:7_000 ~insert_ratio:0.5 in
+  let fig58_series = series_for ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3 in
+  let top = 1 lsl options.max_procs_log2 in
+  let probe_procs = Int.min 64 top in
+  (* Same probe as the elimination figure: rerun the fig7 workload once per
+     structure at [probe_procs] under a Trace.Summary sink and compare
+     where the queued cycles land. *)
+  let probe impl =
+    options.progress
+      (Printf.sprintf "lock-free head probe: %s @ %d procs" impl.Queue_adapter.name
+         probe_procs);
+    let summary = Repro_sim.Trace.Summary.create () in
+    let ops = scaled options 7_000 in
+    let (_ : Repro_sim.Machine.report) =
+      Repro_sim.Machine.run
+        ~tracer:(Repro_sim.Trace.Summary.sink summary)
+        (fun () ->
+          let q = impl.Queue_adapter.create () in
+          let rng = Repro_util.Rng.of_seed 99L in
+          for i = 0 to 999 do
+            q.Queue_adapter.insert (Repro_util.Rng.int rng (1 lsl 20)) (1_000_000 + i)
+          done;
+          for p = 0 to probe_procs - 1 do
+            let rng = Repro_util.Rng.of_seed (Int64.of_int (7_000 + p)) in
+            Repro_sim.Machine.spawn (fun () ->
+                for i = 0 to (ops / probe_procs) - 1 do
+                  Repro_sim.Machine.work 100;
+                  if Repro_util.Rng.bernoulli rng 0.5 then
+                    q.Queue_adapter.insert
+                      (Repro_util.Rng.int rng (1 lsl 20))
+                      ((p * 1_000_000) + i)
+                  else ignore (q.Queue_adapter.try_delete_min ())
+                done)
+          done)
+    in
+    summary
+  in
+  let hottest_queued summary =
+    match Repro_sim.Trace.Summary.hottest_locations summary ~n:1 with
+    | (_, _, queued) :: _ -> queued
+    | [] -> 0
+  in
+  let top8_queued summary =
+    List.fold_left
+      (fun acc (_, _, queued) -> acc + queued)
+      0
+      (Repro_sim.Trace.Summary.hottest_locations summary ~n:8)
+  in
+  let probe_line name summary =
+    Printf.sprintf "%-22s hottest line queued %9d cycles; top-8 lines %9d\n" name
+      (hottest_queued summary) (top8_queued summary)
+  in
+  let plain_probe = probe (Queue_adapter.Sim.skipqueue ()) in
+  let elim_probe = probe (Queue_adapter.Sim.elim_skipqueue ()) in
+  let lf_probe = probe (Queue_adapter.Sim.skipqueue_lf ()) in
+  let lf_counters =
+    stats_line (at fig7_series "SkipQueue-lf" top).Benchmark.queue_stats
+  in
+  let body =
+    "--- fig7 workload (1000 initial, 7000 ops, 50% inserts) ---\n"
+    ^ latency_tables ~series:fig7_series
+    ^ "\n--- fig5/fig8 workload (27000 initial, 60000 ops, 30% inserts) ---\n"
+    ^ latency_tables ~series:fig58_series
+    ^ Printf.sprintf
+        "\nHead-of-list contention probe (fig7 workload, %d procs, full tracing)\n"
+        probe_procs
+    ^ probe_line "SkipQueue" plain_probe
+    ^ probe_line "SkipQueue-elim" elim_probe
+    ^ probe_line "SkipQueue-lf" lf_probe
+    ^ Printf.sprintf "\nlock-free counters @%d procs (fig7): %s\n" top lf_counters
+  in
+  let lf_stat k =
+    let stats = (at fig7_series "SkipQueue-lf" top).Benchmark.queue_stats in
+    try List.assoc k stats with Not_found -> 0.0
+  in
+  {
+    id = "ablation-lockfree";
+    title = "lock-free SkipQueue vs locked and elimination (fig7, fig5/fig8 workloads)";
+    body;
+    data = series_data fig7_series @ series_data fig58_series;
+    indicators =
+      [
+        ratio_indicator fig7_series ~slow:"SkipQueue" ~fast:"SkipQueue-lf"
+          ~procs:probe_procs del
+          (Printf.sprintf "locked/lock-free deletion latency @%d, fig7 (want > 1)"
+             probe_procs);
+        ratio_indicator fig7_series ~slow:"SkipQueue-elim" ~fast:"SkipQueue-lf"
+          ~procs:probe_procs del
+          (Printf.sprintf "elim/lock-free deletion latency @%d, fig7 (want >= 1)"
+             probe_procs);
+        ratio_indicator fig7_series ~slow:"SkipQueue" ~fast:"SkipQueue-lf" ~procs:top ins
+          (Printf.sprintf "locked/lock-free insertion latency @%d, fig7" top);
+        ratio_indicator fig58_series ~slow:"SkipQueue" ~fast:"SkipQueue-lf" ~procs:top
+          del
+          (Printf.sprintf "locked/lock-free deletion latency @%d, fig5/fig8" top);
+        ( Printf.sprintf "locked/lock-free hottest-line queued cycles @%d procs"
+            probe_procs,
+          float_of_int (hottest_queued plain_probe)
+          /. float_of_int (Int.max 1 (hottest_queued lf_probe)) );
+        ( Printf.sprintf "mean marked nodes hopped per op @%d (batching pressure)" top,
+          lf_stat "marked_hops" /. Float.max 1.0 (lf_stat "ops") );
+        ( Printf.sprintf "CAS failures per op @%d (retry pressure)" top,
+          lf_stat "cas_failures" /. Float.max 1.0 (lf_stat "ops") );
+      ];
+  }
+
 (* ------------------------------------------------------------------ *)
 
 (* Flagship blocking scenario: an earliest-deadline-first task scheduler
@@ -842,6 +970,9 @@ let scheduler options =
       ( "bounded:Relaxed SkipQueue",
         fun ~procs:_ ->
           Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.relaxed_skipqueue ()) );
+      ( "bounded:SkipQueue-lf",
+        fun ~procs:_ ->
+          Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.skipqueue_lf ()) );
       ( "bounded:MultiQueue",
         fun ~procs -> Queue_adapter.Sim.bounded ~capacity (Queue_adapter.Sim.multiqueue ~procs ())
       );
@@ -1018,5 +1149,6 @@ let all =
     ("ablation-bounded-range", ablation_bounded_range);
     ("ablation-memory-model", ablation_memory_model);
     ("ablation-elimination", ablation_elimination);
+    ("ablation-lockfree", ablation_lockfree);
     ("scheduler", scheduler);
   ]

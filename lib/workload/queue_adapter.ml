@@ -19,6 +19,7 @@ module Key = Repro_pqueue.Key.Int
 
 module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module SQ = Repro_skipqueue.Skipqueue.Make (R) (Key)
+  module LF = Repro_skipqueue.Skipqueue_lf.Make (R) (Key)
   module Elim = Repro_skipqueue.Elimination.Make (R) (Key)
   module Heap = Repro_heap.Hunt_heap.Make (R) (Key)
   module FL = Repro_funnel.Funnel_list.Make (R) (Key)
@@ -123,6 +124,43 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
                 ("retired", float_of_int s.SQ.Reclaim.retired);
                 ("reclaimed", float_of_int s.SQ.Reclaim.reclaimed);
                 ("pending", float_of_int s.SQ.Reclaim.pending);
+              ])
+            ());
+    }
+
+  (* Lock-free SkipQueue (DESIGN.md S19): CAS-linked insert, CAS-marked
+     logical deletion, batched physical unlinking through epoch
+     reclamation.  Multiset semantics — duplicate keys are distinct
+     instances ([dedups = false]); linearizable without the paper's
+     timestamps (the claim CAS is Delete-min's linearization point). *)
+  let skipqueue_lf ?p ?max_level ?seed ?restructure_threshold ?collect_every ()
+      =
+    {
+      name = "SkipQueue-lf";
+      dedups = false;
+      spec = Linearizable;
+      create =
+        (fun () ->
+          let q =
+            LF.create ?p ?max_level ?seed ?restructure_threshold ?collect_every
+              ()
+          in
+          instance
+            ~insert:(fun k v -> LF.insert q k v)
+            ~try_delete_min:(fun () -> LF.delete_min q)
+            ~stats:(fun () ->
+              let s = LF.stats q in
+              let ps = LF.pool_stats q in
+              let rs = LF.reclaim_stats q in
+              [
+                ("cas_failures", float_of_int s.LF.cas_failures);
+                ("marked_hops", float_of_int s.LF.marked_hops);
+                ("restructures", float_of_int s.LF.restructures);
+                ("restructure_skips", float_of_int s.LF.restructure_skips);
+                ("unlinked", float_of_int s.LF.unlinked);
+                ("pool_returned", float_of_int ps.LF.returned);
+                ("pool_recycled", float_of_int ps.LF.recycled);
+                ("reclaim_pending", float_of_int rs.LF.SL.Reclaim.pending);
               ])
             ());
     }
@@ -378,6 +416,7 @@ let all = function
     [
       Sim.skipqueue ();
       Sim.relaxed_skipqueue ();
+      Sim.skipqueue_lf ();
       Sim.elim_skipqueue ();
       Sim.relaxed_elim_skipqueue ();
       Sim.hunt_heap ();
@@ -392,6 +431,7 @@ let all = function
          pressure is exercised by the dedicated blocking harness. *)
       Sim.bounded (Sim.skipqueue ());
       Sim.bounded (Sim.relaxed_skipqueue ());
+      Sim.bounded (Sim.skipqueue_lf ());
       Sim.bounded (Sim.hunt_heap ());
       Sim.bounded (Sim.multiqueue ~procs:registry_procs ());
     ]
@@ -399,6 +439,7 @@ let all = function
     [
       Native.skipqueue ();
       Native.relaxed_skipqueue ();
+      Native.skipqueue_lf ();
       Native.elim_skipqueue ();
       Native.relaxed_elim_skipqueue ();
       Native.hunt_heap ();
@@ -406,6 +447,7 @@ let all = function
       Native.multiqueue ~procs:registry_procs ();
       Native.bounded (Native.skipqueue ());
       Native.bounded (Native.relaxed_skipqueue ());
+      Native.bounded (Native.skipqueue_lf ());
       Native.bounded (Native.hunt_heap ());
       Native.bounded (Native.multiqueue ~procs:registry_procs ());
     ]

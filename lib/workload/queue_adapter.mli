@@ -88,6 +88,23 @@ module Over (R : Repro_runtime.Runtime_intf.S) : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
 
+  val skipqueue_lf :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?restructure_threshold:int ->
+    ?collect_every:int ->
+    unit ->
+    impl
+  (** Lock-free SkipQueue ({!Repro_skipqueue.Skipqueue_lf}, DESIGN.md S19):
+      CAS-linked insert, CAS-marked logical deletion (the claim CAS is the
+      linearization point), batched physical unlinking through epoch
+      reclamation + the node pool.  [Linearizable] without the paper's
+      timestamps; multiset semantics ([dedups = false]).  Extra stats:
+      ["cas_failures"], ["marked_hops"], ["restructures"],
+      ["restructure_skips"], ["unlinked"], ["pool_returned"],
+      ["pool_recycled"], ["reclaim_pending"]. *)
+
   val elim_skipqueue :
     ?p:float ->
     ?max_level:int ->
@@ -171,6 +188,15 @@ module Sim : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
 
+  val skipqueue_lf :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?restructure_threshold:int ->
+    ?collect_every:int ->
+    unit ->
+    impl
+
   val elim_skipqueue :
     ?p:float ->
     ?max_level:int ->
@@ -232,6 +258,15 @@ module Native : sig
   val skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
   val relaxed_skipqueue : ?p:float -> ?max_level:int -> ?seed:int64 -> unit -> impl
 
+  val skipqueue_lf :
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?restructure_threshold:int ->
+    ?collect_every:int ->
+    unit ->
+    impl
+
   val elim_skipqueue :
     ?p:float ->
     ?max_level:int ->
@@ -292,7 +327,7 @@ val all : backend -> impl list
     simulator additionally has the funnel-front and reclamation ablation
     variants and the bounded-range bin queue).  Both backends also expose
     ["bounded:<name>"] façade entries (capacity 1024) over the skipqueue,
-    relaxed skipqueue, heap and multiqueue. *)
+    relaxed skipqueue, lock-free skipqueue, heap and multiqueue. *)
 
 val names : backend -> string list
 

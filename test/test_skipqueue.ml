@@ -8,6 +8,7 @@ module Native_rt = Repro_runtime.Native_runtime
 module Rng = Repro_util.Rng
 
 module SQ_sim = Repro_skipqueue.Skipqueue.Make (Sim_rt) (Repro_pqueue.Key.Int)
+module LF_sim = Repro_skipqueue.Skipqueue_lf.Make (Sim_rt) (Repro_pqueue.Key.Int)
 module SQ_native = Repro_skipqueue.Skipqueue.Make (Native_rt) (Repro_pqueue.Key.Int)
 module Oracle = Repro_pqueue.Oracle.Make (Repro_pqueue.Key.Int)
 module Map_sim = Repro_skipqueue.Concurrent_skiplist.Make (Sim_rt) (Repro_pqueue.Key.Int)
@@ -460,6 +461,84 @@ let test_node_recycling_through_pool () =
   check "pool accounting consistent" true
     (pool.SQ_sim.pooled = pool.SQ_sim.returned - pool.SQ_sim.recycled)
 
+(* The ABA/recycle adversary, lock-free edition: a claimant HOLDS its
+   victim's node reference inside the epoch while other processors unlink,
+   retire and collect that very node.  The epoch guard must pin it — the
+   binding stays intact and the node unpoisoned for as long as the holder
+   is inside — and once the holder leaves, the same node must complete the
+   delete → reclaim → reuse cycle: poisoned, fed to the pool, recycled by
+   a later insert.  Without the guard this is exactly ABA: the holder
+   would read the recycled node's new identity through its stale
+   reference. *)
+let test_lf_aba_recycle_guard () =
+  let module LF = LF_sim in
+  let errors = ref [] in
+  let poisoned_while_held = ref false in
+  let poisoned_after_exit = ref false in
+  let pool = ref None in
+  let invariants = ref (Ok ()) in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = LF.create ~seed:41L ~restructure_threshold:1 ~collect_every:1 () in
+        let sl = LF.skiplist q in
+        for i = 0 to 31 do
+          LF.insert q i i
+        done;
+        let victim = ref None in
+        (* Holder: claims the minimum, then sits inside its epoch while the
+           churners run the unlink/retire/collect machinery underneath. *)
+        Machine.spawn (fun () ->
+            LF.SL.enter sl;
+            (match LF.SL.try_claim sl with
+            | LF.SL.Claimed (node, _) ->
+              victim := Some node;
+              let k, v = LF.SL.claimed_binding sl node in
+              if (k, v) <> (0, 0) then
+                errors := Printf.sprintf "claimed (%d,%d), wanted (0,0)" k v :: !errors;
+              Machine.work 5_000_000;
+              (* Long since unlinked and retired by the churners — but the
+                 holder is still inside, so it must not be reclaimed. *)
+              if node.LF.SL.poisoned then poisoned_while_held := true;
+              let k', v' = LF.SL.claimed_binding sl node in
+              if (k', v') <> (k, v) then
+                errors :=
+                  Printf.sprintf "binding changed to (%d,%d) while held" k' v' :: !errors
+            | LF.SL.Empty _ -> errors := "holder found the queue empty" :: !errors);
+            LF.SL.exit sl);
+        (* Churners: drain past the victim; threshold 1 makes every walk
+           restructure-eligible, so the marked prefix (the victim included)
+           is unlinked early, and the interleaved collects keep trying to
+           free it while the holder is still inside. *)
+        for p = 0 to 1 do
+          Machine.spawn (fun () ->
+              Machine.work (10_000 + (p * 3_000));
+              for _ = 0 to 15 do
+                ignore (LF.delete_min q);
+                ignore (LF.collect_garbage q);
+                Machine.work 50_000
+              done)
+        done;
+        (* After the holder has exited: the victim must finish the cycle. *)
+        Machine.spawn (fun () ->
+            Machine.work 20_000_000;
+            ignore (LF.collect_garbage q);
+            (match !victim with
+            | Some node -> poisoned_after_exit := node.LF.SL.poisoned
+            | None -> ());
+            for i = 100 to 140 do
+              LF.insert q i i
+            done;
+            invariants := LF.check_invariants q;
+            pool := Some (LF.pool_stats q)))
+  in
+  (match !errors with [] -> () | e :: _ -> Alcotest.fail e);
+  check "epoch pinned the held node" false !poisoned_while_held;
+  check "node reclaimed after holder exit" true !poisoned_after_exit;
+  ok_or_fail !invariants;
+  let pool = Option.get !pool in
+  check "victim fed the pool" true (pool.LF.returned > 0);
+  check "later inserts recycled pooled nodes" true (pool.LF.recycled > 0)
+
 (* --- qcheck model ------------------------------------------------------- *)
 
 (* Random op sequences against a replace-on-duplicate map model.  The
@@ -596,6 +675,8 @@ let () =
           Alcotest.test_case "safe reclamation" `Quick test_reclamation_safety;
           Alcotest.test_case "node recycling through the pool" `Quick
             test_node_recycling_through_pool;
+          Alcotest.test_case "lock-free ABA/recycle guard" `Quick
+            test_lf_aba_recycle_guard;
         ] );
       ( "native",
         [

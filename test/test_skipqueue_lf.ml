@@ -1,0 +1,331 @@
+(* Tests for the lock-free SkipQueue backend: sequential multiset
+   semantics against a qcheck model, marked-node (tombstone) traversal and
+   the batched-restructure threshold, instance-accounting conservation on
+   duplicate-heavy simulated workloads, trace-fingerprint determinism, and
+   a native-domain stress. *)
+
+module Machine = Repro_sim.Machine
+module Sim_rt = Repro_sim.Sim_runtime
+module Native_rt = Repro_runtime.Native_runtime
+module Rng = Repro_util.Rng
+module LF = Repro_skipqueue.Skipqueue_lf.Make (Sim_rt) (Repro_pqueue.Key.Int)
+module LF_native = Repro_skipqueue.Skipqueue_lf.Make (Native_rt) (Repro_pqueue.Key.Int)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ok_or_fail = function Ok () -> () | Error msg -> Alcotest.fail msg
+
+let in_sim f =
+  let result = ref None in
+  let (_ : Machine.report) = Machine.run (fun () -> result := Some (f ())) in
+  Option.get !result
+
+(* --- sequential behaviour ---------------------------------------------- *)
+
+let test_sequential_drain () =
+  in_sim (fun () ->
+      let q = LF.create () in
+      check "empty" true (LF.delete_min q = None);
+      List.iter (fun k -> LF.insert q k (10 * k)) [ 5; 1; 9; 3; 7 ];
+      let order = ref [] in
+      let rec drain () =
+        match LF.delete_min q with
+        | None -> ()
+        | Some (k, v) ->
+          check_int "value follows key" (10 * k) v;
+          order := k :: !order;
+          drain ()
+      in
+      drain ();
+      Alcotest.(check (list int)) "ascending drain" [ 1; 3; 5; 7; 9 ] (List.rev !order);
+      check "empty again" true (LF.delete_min q = None);
+      ok_or_fail (LF.check_invariants q))
+
+let test_duplicates_kept () =
+  (* Multiset semantics: duplicate keys are all kept, and because an
+     insert splices in front of existing equal keys, equal keys come back
+     newest-first. *)
+  in_sim (fun () ->
+      let q = LF.create () in
+      LF.insert q 4 1;
+      LF.insert q 4 2;
+      LF.insert q 2 0;
+      LF.insert q 4 3;
+      check_int "size keeps duplicates" 4 (LF.size q);
+      check "smaller key first" true (LF.delete_min q = Some (2, 0));
+      check "equal keys newest-first (3rd insert)" true (LF.delete_min q = Some (4, 3));
+      check "equal keys newest-first (2nd insert)" true (LF.delete_min q = Some (4, 2));
+      check "equal keys newest-first (1st insert)" true (LF.delete_min q = Some (4, 1));
+      check "drained" true (LF.delete_min q = None))
+
+(* --- qcheck multiset model --------------------------------------------- *)
+
+(* Random single-processor op sequences against a multiset model: a map
+   from key to the stack of values inserted under it, newest first (the
+   structure splices a new node in front of existing equal keys). *)
+let qcheck_matches_multiset_model =
+  let module M = Map.Make (Int) in
+  let gen = QCheck.(list_of_size Gen.(int_range 0 200) (int_range (-1) 30)) in
+  QCheck.Test.make ~count:60 ~name:"lock-free SkipQueue matches multiset model" gen
+    (fun ops ->
+      let ok = ref false in
+      let (_ : Machine.report) =
+        Machine.run (fun () ->
+            let q = LF.create ~restructure_threshold:4 () in
+            let model = ref M.empty in
+            List.iteri
+              (fun i op ->
+                if op < 0 then begin
+                  let want =
+                    match M.min_binding_opt !model with
+                    | None -> None
+                    | Some (_, []) -> assert false
+                    | Some (k, v :: rest) ->
+                      model :=
+                        (if rest = [] then M.remove k !model else M.add k rest !model);
+                      Some (k, v)
+                  in
+                  if LF.delete_min q <> want then
+                    QCheck.Test.fail_reportf "delete-min mismatch at op %d" i
+                end
+                else begin
+                  LF.insert q op i;
+                  model :=
+                    M.update op
+                      (function None -> Some [ i ] | Some vs -> Some (i :: vs))
+                      !model
+                end)
+              ops;
+            ok_or_fail (LF.check_invariants q);
+            let live = List.sort compare (LF.to_list q) in
+            let want =
+              M.bindings !model
+              |> List.concat_map (fun (k, vs) -> List.map (fun v -> (k, v)) vs)
+              |> List.sort compare
+            in
+            ok := live = want)
+      in
+      !ok)
+
+(* --- marked-node traversal and the restructure threshold ---------------- *)
+
+let test_tombstones_persist_below_threshold () =
+  in_sim (fun () ->
+      let q = LF.create ~restructure_threshold:1000 () in
+      for i = 0 to 19 do
+        LF.insert q i i
+      done;
+      (* Logical deletion only: the threshold is never reached, so the
+         claimed nodes stay physically linked as a tombstone prefix. *)
+      for i = 0 to 7 do
+        check "drains ascending" true (LF.delete_min q = Some (i, i))
+      done;
+      check_int "tombstones still linked" 8 (LF.marked_prefix_len q);
+      check_int "no restructure fired" 0 (LF.stats q).LF.restructures;
+      check "peek skips the tombstones" true (LF.peek_min q = Some (8, 8));
+      check_int "size counts live nodes only" 12 (LF.size q);
+      ok_or_fail (LF.check_invariants q);
+      (* Live-order insertion: a key smaller than every live node lands at
+         the very front, in front of the (larger-keyed) tombstone run. *)
+      LF.insert q 3 333;
+      check_int "front insert re-roots the prefix" 0 (LF.marked_prefix_len q);
+      check "new min visible in front of tombstones" true
+        (LF.delete_min q = Some (3, 333));
+      ok_or_fail (LF.check_invariants q))
+
+let test_restructure_threshold_honored () =
+  in_sim (fun () ->
+      let q = LF.create ~restructure_threshold:4 () in
+      for i = 0 to 31 do
+        LF.insert q i i
+      done;
+      for i = 0 to 31 do
+        check "drains ascending" true (LF.delete_min q = Some (i, i));
+        check "prefix stays under the threshold" true (LF.marked_prefix_len q <= 4)
+      done;
+      let s = LF.stats q in
+      check "restructures fired" true (s.LF.restructures > 0);
+      check_int "every node either unlinked or still in the prefix" 32
+        (s.LF.unlinked + LF.marked_prefix_len q);
+      ok_or_fail (LF.check_invariants q))
+
+(* --- duplicate-heavy conservation under simulated concurrency ----------- *)
+
+(* Unique instance ids ride on heavily colliding keys; every id must be
+   conserved exactly — {inserted} = {deleted} ∪ {drained} — which is the
+   accounting the multiset semantics owes (the locked SkipQueue dedups, so
+   its stress uses unique keys; here collisions are the point). *)
+let stress_conservation ~procs ~ops ~key_range ~threshold ~seed () =
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let inserted = Array.make procs [] in
+  let deleted = Array.make procs [] in
+  let drained = ref [] in
+  let invariants = ref (Ok ()) in
+  let quiescent = ref false in
+  let (_ : Machine.report) =
+    Machine.run (fun () ->
+        let q = LF.create ~seed ~restructure_threshold:threshold () in
+        let done_count = ref 0 in
+        for p = 0 to procs - 1 do
+          Machine.spawn (fun () ->
+              let rng = Rng.of_seed (Int64.add seed (Int64.of_int (p + 1))) in
+              for i = 0 to ops - 1 do
+                let id = (p * 1_000_000) + i in
+                if Rng.int rng 5 < 3 then begin
+                  let key = Rng.int rng key_range in
+                  inserted.(p) <- (key, id) :: inserted.(p);
+                  LF.insert q key id
+                end
+                else
+                  match LF.delete_min q with
+                  | Some kv -> deleted.(p) <- kv :: deleted.(p)
+                  | None -> ()
+              done;
+              incr done_count)
+        done;
+        Machine.spawn (fun () ->
+            Machine.work 2_000_000_000;
+            quiescent := !done_count = procs;
+            invariants := LF.check_invariants q;
+            let rec drain () =
+              match LF.delete_min q with
+              | None -> ()
+              | Some kv ->
+                drained := kv :: !drained;
+                drain ()
+            in
+            drain ();
+            ignore (LF.collect_garbage q)))
+  in
+  check "workers quiesced before the drain" true !quiescent;
+  ok_or_fail !invariants;
+  let all_in = S.of_list (Array.to_list inserted |> List.concat) in
+  let all_out =
+    S.union (S.of_list (Array.to_list deleted |> List.concat)) (S.of_list !drained)
+  in
+  if not (S.equal all_in all_out) then
+    Alcotest.failf "conservation broken: %d missing, %d phantom (of %d inserted)"
+      (S.cardinal (S.diff all_in all_out))
+      (S.cardinal (S.diff all_out all_in))
+      (S.cardinal all_in)
+
+let test_stress_duplicates () =
+  stress_conservation ~procs:10 ~ops:60 ~key_range:8 ~threshold:4 ~seed:71L ()
+
+let test_stress_eager_restructure () =
+  (* Threshold 1: every delete-min walk is restructure-eligible, so the
+     unlink/retire path races everything constantly. *)
+  stress_conservation ~procs:8 ~ops:50 ~key_range:5 ~threshold:1 ~seed:72L ()
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* The backend must stay a deterministic function of the machine schedule:
+   two identical runs produce byte-identical traces.  Any wall-clock,
+   address or host-state dependence in the CAS retry loops would diverge
+   here. *)
+let fingerprint_run () =
+  let buf = Buffer.create 4096 in
+  let sink e =
+    Buffer.add_string buf (Format.asprintf "%a@." Repro_sim.Trace.pp_event e)
+  in
+  let report =
+    Machine.run ~tracer:sink (fun () ->
+        let q = LF.create ~seed:7L ~restructure_threshold:3 () in
+        for p = 0 to 5 do
+          Machine.spawn (fun () ->
+              for i = 0 to 19 do
+                if (i + p) mod 3 = 0 then ignore (LF.delete_min q)
+                else LF.insert q (((i * 5) + p) mod 17) ((p * 100) + i)
+              done)
+        done)
+  in
+  (Buffer.contents buf, report)
+
+let test_trace_fingerprint_deterministic () =
+  let trace_a, report_a = fingerprint_run () in
+  let trace_b, report_b = fingerprint_run () in
+  Alcotest.(check string) "byte-identical traces" trace_a trace_b;
+  check "identical reports" true (report_a = report_b);
+  check "the workload actually traced" true (String.length trace_a > 0)
+
+(* --- native domains ----------------------------------------------------- *)
+
+let test_native_multiset_stress () =
+  let procs = 4 and ops = 2_000 in
+  (* no [max_procs]: native processor ids come from a global counter, so
+     the reclamation slots must keep their default headroom *)
+  let q = LF_native.create ~seed:99L () in
+  let inserted = Array.make procs [] in
+  let deleted = Array.make procs [] in
+  Native_rt.run_processors procs (fun p ->
+      let rng = Rng.of_seed (Int64.of_int (1000 + p)) in
+      for i = 0 to ops - 1 do
+        let id = (p * 1_000_000) + i in
+        if Rng.bool rng then begin
+          (* small key range on purpose: duplicates everywhere *)
+          let key = Rng.int rng 50 in
+          inserted.(p) <- (key, id) :: inserted.(p);
+          LF_native.insert q key id
+        end
+        else
+          match LF_native.delete_min q with
+          | Some kv -> deleted.(p) <- kv :: deleted.(p)
+          | None -> ()
+      done);
+  ok_or_fail (LF_native.check_invariants q);
+  let drained = ref [] in
+  let rec drain () =
+    match LF_native.delete_min q with
+    | None -> ()
+    | Some kv ->
+      drained := kv :: !drained;
+      drain ()
+  in
+  drain ();
+  ignore (LF_native.collect_garbage q);
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let all_in = S.of_list (Array.to_list inserted |> List.concat) in
+  let all_out =
+    S.union (S.of_list (Array.to_list deleted |> List.concat)) (S.of_list !drained)
+  in
+  check "no lost or invented elements" true (S.equal all_in all_out)
+
+let () =
+  Alcotest.run "skipqueue-lf"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "ordered drain" `Quick test_sequential_drain;
+          Alcotest.test_case "duplicate keys kept" `Quick test_duplicates_kept;
+          QCheck_alcotest.to_alcotest qcheck_matches_multiset_model;
+        ] );
+      ( "tombstones",
+        [
+          Alcotest.test_case "persist below the threshold" `Quick
+            test_tombstones_persist_below_threshold;
+          Alcotest.test_case "restructure threshold honored" `Quick
+            test_restructure_threshold_honored;
+        ] );
+      ( "simulated-concurrency",
+        [
+          Alcotest.test_case "duplicate-heavy conservation" `Quick
+            test_stress_duplicates;
+          Alcotest.test_case "eager-restructure conservation" `Quick
+            test_stress_eager_restructure;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "trace fingerprint" `Quick
+            test_trace_fingerprint_deterministic;
+        ] );
+      ( "native",
+        [ Alcotest.test_case "4-domain multiset stress" `Quick test_native_multiset_stress ] );
+    ]
