@@ -12,6 +12,7 @@
      dune exec bin/check.exe -- --broken wakeup # lost-wakeup bounded façade mutant
      dune exec bin/check.exe -- --broken lf-claim # torn two-step lock-free claim
      dune exec bin/check.exe -- --broken lf-free  # premature free in the lock-free queue
+     dune exec bin/check.exe -- --broken klsm   # torn k-LSM buffer-to-shared spill
 
    --blocking switches to the producer/consumer harness: each selected
    backend is wrapped in the bounded façade at the blocking profile's
@@ -22,7 +23,8 @@
 
    Exit status: 0 all clean, 1 violations found, 2 usage error.  Under
    --broken the meaning flips: 0 the chosen mutant (swap | elim | wakeup |
-   all, default swap) was caught, 1 it slipped through. *)
+   lf-claim | lf-free | klsm | all, default swap) was caught, 1 it
+   slipped through. *)
 
 open Cmdliner
 module QA = Repro_workload.Queue_adapter
@@ -57,6 +59,7 @@ let select_impls backends broken blocking ~capacity =
   | Some "wakeup" -> [ (Repro_check.Broken.bounded_skipqueue ~capacity (), true) ]
   | Some "lf-claim" -> [ (Repro_check.Broken.lf_claim_skipqueue (), false) ]
   | Some "lf-free" -> [ (Repro_check.Broken.lf_free_skipqueue (), false) ]
+  | Some "klsm" -> [ (Repro_check.Broken.klsm_spill (), false) ]
   | Some "all" ->
     [
       (Repro_check.Broken.skipqueue (), false);
@@ -64,10 +67,11 @@ let select_impls backends broken blocking ~capacity =
       (Repro_check.Broken.bounded_skipqueue ~capacity (), true);
       (Repro_check.Broken.lf_claim_skipqueue (), false);
       (Repro_check.Broken.lf_free_skipqueue (), false);
+      (Repro_check.Broken.klsm_spill (), false);
     ]
   | Some other ->
     Printf.eprintf
-      "unknown mutant %S (known: swap, elim, wakeup, lf-claim, lf-free, all)\n" other;
+      "unknown mutant %S (known: swap, elim, wakeup, lf-claim, lf-free, klsm, all)\n" other;
     Stdlib.exit 2
   | None when blocking -> (
     match backends with
@@ -241,14 +245,15 @@ let broken =
            $(b,wakeup) (lost-wakeup bounded façade, swept under the \
            blocking harness), $(b,lf-claim) (torn two-step claim in the \
            lock-free SkipQueue), $(b,lf-free) (premature physical free in \
-           the lock-free SkipQueue) or $(b,all).")
+           the lock-free SkipQueue), $(b,klsm) (torn k-LSM buffer-to-shared \
+           block publish) or $(b,all).")
 
 let mutant =
   Arg.(
     value
     & pos 0 (some string) None
     & info [] ~docv:"MUTANT"
-        ~doc:"Mutant for $(b,--broken): swap, elim, wakeup, lf-claim, lf-free or all.")
+        ~doc:"Mutant for $(b,--broken): swap, elim, wakeup, lf-claim, lf-free, klsm or all.")
 
 let blocking =
   Arg.(

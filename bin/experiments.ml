@@ -20,6 +20,7 @@ let run_native domains_top scale quiet =
         "Heap";
         "FunnelList";
         "MultiQueue";
+        "klsm:256";
       ]
   in
   let rec domain_counts d = if d > domains_top then [] else d :: domain_counts (2 * d) in
@@ -84,8 +85,10 @@ let ids =
      ablation-skiplist-params, ablation-timestamp, ablation-reclamation, \
      ablation-bounded-range, ablation-memory-model, ablation-elimination, \
      ablation-lockfree (CAS-marked deletion vs the locked SkipQueue), \
-     scheduler (EDF jobs through the bounded/blocking façade), 'native' \
-     (real-domain sweep), or 'all' (every simulator experiment)."
+     scheduler (EDF jobs through the bounded/blocking façade), \
+     klsm-shootout (Relaxed SkipQueue vs MultiQueue vs k-LSM with the \
+     rank-error oracle), 'native' (real-domain sweep), or 'all' (every \
+     simulator experiment)."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 

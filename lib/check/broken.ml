@@ -49,11 +49,20 @@ let mk_instance ~insert ~try_delete_min =
       Repro_sim.Sim_runtime.yield ();
       poll_pop ()
   in
+  let rec drain acc n =
+    if n <= 0 then List.rev acc
+    else
+      match try_delete_min () with
+      | Some kv -> drain (kv :: acc) (n - 1)
+      | None -> List.rev acc
+  in
   {
     Repro_workload.Queue_adapter.insert;
     insert_wait = insert;
     try_delete_min;
     delete_min_wait = poll_pop;
+    insert_batch = (fun kvs -> Array.iter (fun (k, v) -> insert k v) kvs);
+    delete_min_batch = (fun want -> drain [] want);
     stats = (fun () -> []);
   }
 
@@ -199,6 +208,38 @@ let lf_free_skipqueue () =
           ~try_delete_min:(fun () -> LfGood.delete_min q));
   }
 
+(* The torn-spill mutant: the k-LSM with [broken_spill] planted — the
+   buffer-to-SLSM block publish decays from a CAS retry loop into a plain
+   read followed (one scheduler point later) by a plain write of the new
+   block list.  Two processors publishing concurrently both read the same
+   list and the second write overwrites the first block entirely: its
+   elements become unreachable from every view (no merged block aliases
+   their claim cells), so they are never delivered and never drained —
+   the conservation checker reports "went in but never came out".  The
+   configuration maximizes publish concurrency: k = 1 gives buffer
+   capacity 0, so every single insert is its own torn singleton-block
+   publish.  The name embeds "klsm:1" so the rank-envelope checker also
+   holds the mutant to the k = 1 ceiling — lost small elements stay
+   forever "live" in the envelope's replay and push later deletes over
+   it. *)
+module KlsmTorn = Repro_klsm.Klsm.Make (Repro_sim.Sim_runtime)
+
+let klsm_spill_name = "Broken klsm:1 (torn spill)"
+
+let klsm_spill () =
+  {
+    Repro_workload.Queue_adapter.name = klsm_spill_name;
+    dedups = false;
+    spec = Repro_workload.Queue_adapter.Rank_bounded;
+    create =
+      (fun () ->
+        reads := 0;
+        let q = KlsmTorn.create ~k:1 ~procs:6 ~broken_spill:true () in
+        mk_instance
+          ~insert:(fun k v -> KlsmTorn.insert q k v)
+          ~try_delete_min:(fun () -> KlsmTorn.delete_min q));
+  }
+
 (* The lost-wakeup mutant: the bounded façade with [broken_wakeup] set —
    cross-side signals are sent without holding the waiter's lock and the
    same-side chain-signals are dropped.  A consumer that has observed
@@ -234,6 +275,18 @@ let bounded_skipqueue ?(capacity = 4) () =
           insert_wait = (fun k v -> Bounded.insert_wait b k v);
           try_delete_min = (fun () -> Bounded.try_delete_min b);
           delete_min_wait = (fun () -> Bounded.delete_min_wait b);
+          insert_batch =
+            (fun kvs -> Array.iter (fun (k, v) -> Bounded.insert_wait b k v) kvs);
+          delete_min_batch =
+            (fun want ->
+              let rec go acc n =
+                if n <= 0 then List.rev acc
+                else
+                  match Bounded.try_delete_min b with
+                  | Some kv -> go (kv :: acc) (n - 1)
+                  | None -> List.rev acc
+              in
+              go [] want);
           stats = (fun () -> Bounded.stats b);
         });
   }

@@ -48,6 +48,19 @@ val lf_free_skipqueue : unit -> Repro_workload.Queue_adapter.impl
     traverser walks into a recycled node and loses elements.
     Simulator-only. *)
 
+val klsm_spill_name : string
+
+val klsm_spill : unit -> Repro_workload.Queue_adapter.impl
+(** The torn-spill mutant ([bin/check --broken klsm]): a k-LSM whose
+    buffer-to-SLSM block publish is torn into a read of the block list
+    and, one scheduler point later, a plain write — so two concurrent
+    publishes overwrite each other and one block's elements become
+    unreachable from every view.  Configured at k = 1 (buffer capacity 0:
+    every insert is a torn singleton publish) so the race fires within a
+    few seeds; caught by conservation ("went in but never came out") and
+    by the k-keyed rank envelope (the lost small elements stay "live" in
+    its replay).  Simulator-only. *)
+
 val wakeup_name : string
 
 val bounded_skipqueue :

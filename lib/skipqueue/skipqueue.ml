@@ -26,7 +26,13 @@ struct
     mutable poisoned : bool; (* set by the reclamation finalizer *)
   }
 
-  type op_stats = { hunt_steps : int; swap_losses : int; stale_skips : int }
+  type op_stats = {
+    hunt_steps : int;
+    swap_losses : int;
+    stale_skips : int;
+    hunt_passes : int; (* bottom-level hunt invocations; a native
+                          delete_min_batch performs one per batch *)
+  }
 
   type 'v t = {
     head : 'v node;
@@ -51,6 +57,7 @@ struct
     mutable hunt_steps : int;
     mutable swap_losses : int;
     mutable stale_skips : int;
+    mutable hunt_passes : int;
   }
 
   let rng_slots = 4096 (* power of two; processor ids are folded into it *)
@@ -96,10 +103,16 @@ struct
       hunt_steps = 0;
       swap_losses = 0;
       stale_skips = 0;
+      hunt_passes = 0;
     }
 
   let stats t =
-    { hunt_steps = t.hunt_steps; swap_losses = t.swap_losses; stale_skips = t.stale_skips }
+    {
+      hunt_steps = t.hunt_steps;
+      swap_losses = t.swap_losses;
+      stale_skips = t.stale_skips;
+      hunt_passes = t.hunt_passes;
+    }
 
   type pool_stats = { returned : int; recycled : int; pooled : int }
 
@@ -321,6 +334,7 @@ struct
      front end in [Elimination] exploits.  Claims come back in list
      (ascending-key) order. *)
   let hunt t ~want =
+    t.hunt_passes <- t.hunt_passes + 1;
     let time = match t.mode with Strict -> R.get_time () | Relaxed -> max_int in
     let claimed = ref [] in
     let count = ref 0 in

@@ -122,6 +122,11 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
     hunt_steps : int;  (** bottom-level nodes examined by delete_mins *)
     swap_losses : int;  (** marked nodes stepped over (lost races) *)
     stale_skips : int;  (** nodes skipped because their timestamp was too young *)
+    hunt_passes : int;
+        (** bottom-level hunt invocations: one per [delete_min], one per
+            [hunt_batch] call however many claims it makes — which is how
+            the adapter's batch tests pin that a native [delete_min_batch]
+            shares a single pass *)
   }
 
   val stats : 'v t -> op_stats

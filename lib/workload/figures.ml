@@ -1132,6 +1132,119 @@ let scheduler options =
         series;
   }
 
+(* ------------------------------------------------------------------ *)
+
+(* A14: the three-way relaxed shoot-out.  The paper's Relaxed SkipQueue
+   (timestamp-skipping), the MultiQueue (c-way choice over try-locked
+   shards) and the k-LSM at k = 256 (log-structured merge with
+   per-processor insertion buffers) on the fig6/fig7/fig8 workloads plus
+   a duplicate-heavy one (keys drawn from a 256-value range, so every
+   structure sees long runs of equal priorities).  Latency tables and the
+   host-side rank-error oracle side by side: the three relaxations sit at
+   very different points of the speed/quality plane, and the k-LSM's
+   flush/merge counters say where its insertion-buffer amortization
+   pays. *)
+let klsm_shootout options =
+  let sub ~tag ~initial ~ops ~insert_ratio ~key_range =
+    let workload_of procs =
+      {
+        (base_workload options ~procs ~initial ~ops ~insert_ratio ~work:100) with
+        Benchmark.key_range;
+      }
+    in
+    [
+      ( "Relaxed SkipQueue",
+        sweep options ~impl:(Queue_adapter.Sim.relaxed_skipqueue ()) ~workload_of );
+      ( "MultiQueue",
+        sweep_per_procs options
+          ~name:(Printf.sprintf "MultiQueue [%s]" tag)
+          ~impl_of:(fun procs -> Queue_adapter.Sim.multiqueue ~procs ())
+          ~workload_of );
+      ( "klsm:256",
+        sweep_per_procs options
+          ~name:(Printf.sprintf "klsm:256 [%s]" tag)
+          ~impl_of:(fun procs -> Queue_adapter.Sim.klsm ~k:256 ~procs ())
+          ~workload_of );
+    ]
+  in
+  let workloads =
+    [
+      ( "fig6 small",
+        "fig6 workload: small structure (50 initial, 7000 ops, 50% inserts)",
+        sub ~tag:"fig6" ~initial:50 ~ops:7_000 ~insert_ratio:0.5
+          ~key_range:(1 lsl 20) );
+      ( "fig7 large",
+        "fig7 workload: large structure (1000 initial, 7000 ops, 50% inserts)",
+        sub ~tag:"fig7" ~initial:1000 ~ops:7_000 ~insert_ratio:0.5
+          ~key_range:(1 lsl 20) );
+      ( "fig8 70% deletions",
+        "fig8 workload: 70% deletions (27000 initial, 60000 ops, 30% inserts)",
+        sub ~tag:"fig8" ~initial:27_000 ~ops:60_000 ~insert_ratio:0.3
+          ~key_range:(1 lsl 20) );
+      ( "duplicate-heavy",
+        "duplicate-heavy: fig7 sizes, keys from a 256-value range",
+        sub ~tag:"dups" ~initial:1000 ~ops:7_000 ~insert_ratio:0.5 ~key_range:256 );
+    ]
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  let klsm_stat series k =
+    let stats = (at series "klsm:256" top).Benchmark.queue_stats in
+    try List.assoc k stats with Not_found -> 0.0
+  in
+  let klsm_counters series =
+    Printf.sprintf "k-LSM counters @%d procs: %s\n" top
+      (stats_line (at series "klsm:256" top).Benchmark.queue_stats)
+  in
+  let body =
+    String.concat "\n"
+      (List.map
+         (fun (_, title, series) ->
+           Printf.sprintf "--- %s ---\n" title
+           ^ latency_tables ~series ^ "\n" ^ rank_table ~series
+           ^ klsm_counters series)
+         workloads)
+  in
+  let indicators =
+    List.concat_map
+      (fun (tag, _, series) ->
+        [
+          ratio_indicator series ~slow:"Relaxed SkipQueue" ~fast:"klsm:256" ~procs:top
+            del
+            (Printf.sprintf "relaxed/klsm deletion latency @%d, %s" top tag);
+          ratio_indicator series ~slow:"MultiQueue" ~fast:"klsm:256" ~procs:top del
+            (Printf.sprintf "multiqueue/klsm deletion latency @%d, %s" top tag);
+          ( Printf.sprintf "klsm mean rank error @%d, %s (bound 256)" top tag,
+            rank_of (at series "klsm:256" top) );
+          ( Printf.sprintf "multiqueue mean rank error @%d, %s" top tag,
+            rank_of (at series "MultiQueue" top) );
+        ])
+      workloads
+    @
+    let _, _, fig7_series = List.nth workloads 1 in
+    [
+      ( Printf.sprintf "klsm buffer flushes per insert @%d, fig7" top,
+        klsm_stat fig7_series "flushes"
+        /. Float.max 1.0 (klsm_stat fig7_series "ops") );
+      ( Printf.sprintf "klsm spy sweeps @%d, fig7 (emptiness fallbacks)" top,
+        klsm_stat fig7_series "spy_sweeps" );
+    ]
+  in
+  let data =
+    List.concat_map
+      (fun (tag, _, series) ->
+        List.map
+          (fun (name, points) -> (Printf.sprintf "%s/%s" name tag, points))
+          (series_data series))
+      workloads
+  in
+  {
+    id = "klsm-shootout";
+    title = "three-way relaxed shoot-out: Relaxed SkipQueue vs MultiQueue vs k-LSM";
+    body;
+    indicators;
+    data;
+  }
+
 let all =
   [
     ("fig2", fig2);
@@ -1151,4 +1264,5 @@ let all =
     ("ablation-elimination", ablation_elimination);
     ("ablation-lockfree", ablation_lockfree);
     ("scheduler", scheduler);
+    ("klsm-shootout", klsm_shootout);
   ]

@@ -113,5 +113,12 @@ val scheduler : options -> result
     and backpressure stalls.  In {!result.data} the y-columns are mean
     sojourn (cycles) and miss rate (%), keyed by worker count. *)
 
+val klsm_shootout : options -> result
+(** A14: the three-way relaxed shoot-out — the paper's Relaxed SkipQueue,
+    the MultiQueue and the k-LSM ({!Repro_klsm.Klsm}, k = 256) on the
+    fig6/fig7/fig8 workloads plus a duplicate-heavy one (256-value key
+    range), reporting latency, the Delete-min rank-error oracle for each
+    relaxation, and the k-LSM's flush/merge/spy counters. *)
+
 val all : (string * (options -> result)) list
 (** Every runner, keyed by id, in presentation order. *)

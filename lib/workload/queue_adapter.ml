@@ -3,6 +3,8 @@ type instance = {
   insert_wait : int -> int -> unit;
   try_delete_min : unit -> (int * int) option;
   delete_min_wait : unit -> int * int;
+  insert_batch : (int * int) array -> unit;
+  delete_min_batch : int -> (int * int) list;
   stats : unit -> (string * float) list;
 }
 
@@ -26,6 +28,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module Funnel = Repro_funnel.Combining_funnel.Make (R)
   module Bins = Repro_funnel.Bin_queue.Make (R)
   module MQ = Repro_multiqueue.Multiqueue.Make (R) (Key)
+  module KL = Repro_klsm.Klsm.Make (R)
   module Bounded = Repro_bounded.Bounded_queue.Make (R)
 
   (* Uniform instance constructor: wires the core counters every instance
@@ -34,8 +37,15 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
      they need no per-backend instrumentation) and derives the blocking
      entry points of an unbounded backend.  An unbounded queue is never
      full, so [insert_wait] is [insert]; [delete_min_wait] polls — real
-     parking comes from the {!bounded} façade, which replaces both. *)
-  let instance ~insert ~try_delete_min ~stats () =
+     parking comes from the {!bounded} façade, which replaces both.
+
+     The bulk entry points default to element-at-a-time loops so every
+     backend gains them for free; structures with a genuine batch path
+     (the SkipQueue's [hunt_batch], the k-LSM's block publish) override
+     them via [?insert_batch]/[?delete_min_batch].  Both count [ops] per
+     element, like the loops they replace. *)
+  let instance ~insert ?insert_batch ~try_delete_min ?delete_min_batch ~stats
+      () =
     let ops = ref 0 in
     let base_acq, base_fail = R.lock_stats () in
     let rec poll_pop () =
@@ -44,6 +54,25 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       | None ->
         R.yield ();
         poll_pop ()
+    in
+    let do_insert_batch =
+      match insert_batch with
+      | Some f -> f
+      | None -> fun kvs -> Array.iter (fun (k, v) -> insert k v) kvs
+    in
+    let do_delete_batch =
+      match delete_min_batch with
+      | Some f -> f
+      | None ->
+        fun want ->
+          let rec go acc n =
+            if n <= 0 then List.rev acc
+            else
+              match try_delete_min () with
+              | Some kv -> go (kv :: acc) (n - 1)
+              | None -> List.rev acc
+          in
+          go [] want
     in
     {
       insert =
@@ -62,6 +91,15 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
         (fun () ->
           incr ops;
           poll_pop ());
+      insert_batch =
+        (fun kvs ->
+          ops := !ops + Array.length kvs;
+          do_insert_batch kvs);
+      delete_min_batch =
+        (fun want ->
+          let r = do_delete_batch want in
+          ops := !ops + List.length r;
+          r);
       stats =
         (fun () ->
           let acq, fail = R.lock_stats () in
@@ -76,12 +114,24 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
     instance
       ~insert:(fun k v -> ignore (SQ.insert q k v))
       ~try_delete_min:(fun () -> SQ.delete_min q)
+        (* Native bulk delete (PR 3's batch API): one bottom-level hunt
+           claims up to [want] nodes, then one physical-removal pass —
+           the marked-prefix walk is shared instead of repeated. *)
+      ~delete_min_batch:(fun want ->
+        if want <= 0 then []
+        else begin
+          let batch = SQ.hunt_batch q ~want in
+          let kvs = SQ.batch_claims batch in
+          SQ.finish_batch q batch;
+          kvs
+        end)
       ~stats:(fun () ->
         let s = SQ.stats q in
         [
           ("hunt_steps", float_of_int s.SQ.hunt_steps);
           ("swap_losses", float_of_int s.SQ.swap_losses);
           ("stale_skips", float_of_int s.SQ.stale_skips);
+          ("hunt_passes", float_of_int s.SQ.hunt_passes);
         ])
       ()
 
@@ -205,6 +255,7 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
           ("hunt_steps", float_of_int s.Elim.SQ.hunt_steps);
           ("swap_losses", float_of_int s.Elim.SQ.swap_losses);
           ("stale_skips", float_of_int s.Elim.SQ.stale_skips);
+          ("hunt_passes", float_of_int s.Elim.SQ.hunt_passes);
         ])
       ()
 
@@ -319,6 +370,39 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
             ());
     }
 
+  (* The k-LSM relaxed backend ({!Repro_klsm.Klsm}): per-processor
+     insertion buffers merged log-structurally into a CAS-published block
+     list, rank error bounded by [k].  Both bulk entry points are native —
+     [insert_batch] publishes the (sorted) batch as one block, and
+     [delete_min_batch] claims through one per-processor state
+     acquisition. *)
+  let klsm ?seed ?search_cycles ?buffer_capacity ~k ~procs () =
+    {
+      name = Printf.sprintf "klsm:%d" k;
+      dedups = false;
+      spec = Rank_bounded;
+      create =
+        (fun () ->
+          let q = KL.create ?seed ?search_cycles ?buffer_capacity ~k ~procs () in
+          instance
+            ~insert:(fun key v -> KL.insert q key v)
+            ~insert_batch:(fun kvs -> KL.insert_batch q kvs)
+            ~try_delete_min:(fun () -> KL.delete_min q)
+            ~delete_min_batch:(fun want -> KL.delete_min_batch q ~want)
+            ~stats:(fun () ->
+              let s = KL.stats q in
+              [
+                ("flushes", float_of_int s.KL.flushes);
+                ("merges", float_of_int s.KL.merges);
+                ("spy_sweeps", float_of_int s.KL.spy_sweeps);
+                ("cas_failures", float_of_int s.KL.cas_failures);
+                ("batch_inserts", float_of_int s.KL.batch_inserts);
+                ("batch_deletes", float_of_int s.KL.batch_deletes);
+                ("blocks", float_of_int (KL.block_count q));
+              ])
+            ());
+    }
+
   (* Ablation A1: Delete-mins regulated by a combining funnel in front of
      the SkipQueue (§5 "We tried using a funnel to regulate access of
      deleting processors at the bottom level of the SkipList"). *)
@@ -378,6 +462,22 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
             insert_wait = (fun k v -> Bounded.insert_wait b k v);
             try_delete_min = (fun () -> Bounded.try_delete_min b);
             delete_min_wait = (fun () -> Bounded.delete_min_wait b);
+            (* Batches thread the façade element-wise: each element must
+               cross the capacity gate individually, so the inner batch
+               path cannot be used without admitting a burst past the
+               bound. *)
+            insert_batch =
+              (fun kvs -> Array.iter (fun (k, v) -> Bounded.insert_wait b k v) kvs);
+            delete_min_batch =
+              (fun want ->
+                let rec go acc n =
+                  if n <= 0 then List.rev acc
+                  else
+                    match Bounded.try_delete_min b with
+                    | Some kv -> go (kv :: acc) (n - 1)
+                    | None -> List.rev acc
+                in
+                go [] want);
             stats = (fun () -> Bounded.stats b @ inner.stats ());
           });
     }
@@ -402,6 +502,10 @@ module Native = struct
   let multiqueue ?shard_factor ?shards ?choice ?stickiness ?seed ~procs () =
     multiqueue ?shard_factor ?shards ?choice ?stickiness
       ~heap_cycles_per_level:0 ?seed ~procs ()
+
+  (* Same reasoning: the binary searches and merge walks are real work. *)
+  let klsm ?seed ?buffer_capacity ~k ~procs () =
+    klsm ?seed ~search_cycles:0 ?buffer_capacity ~k ~procs ()
 end
 
 (* ---- name-keyed registry ------------------------------------------------ *)
@@ -422,6 +526,7 @@ let all = function
       Sim.hunt_heap ();
       Sim.funnel_list ();
       Sim.multiqueue ~procs:registry_procs ();
+      Sim.klsm ~k:256 ~procs:registry_procs ();
       Sim.funneled_skipqueue ();
       Sim.skipqueue_with_reclamation ();
       Sim.bin_queue ~range:65_536 ();
@@ -445,6 +550,7 @@ let all = function
       Native.hunt_heap ();
       Native.funnel_list ();
       Native.multiqueue ~procs:registry_procs ();
+      Native.klsm ~k:256 ~procs:registry_procs ();
       Native.bounded (Native.skipqueue ());
       Native.bounded (Native.relaxed_skipqueue ());
       Native.bounded (Native.skipqueue_lf ());
@@ -460,12 +566,78 @@ let normalize name =
   String.lowercase_ascii
     (String.concat "" (String.split_on_char ' ' name))
 
+(* ---- klsm:<k> names ----------------------------------------------------- *)
+
+let klsm_prefix = "klsm:"
+
+let has_klsm_prefix normalized =
+  String.length normalized >= String.length klsm_prefix
+  && String.sub normalized 0 (String.length klsm_prefix) = klsm_prefix
+
+(* Parse a name of the exact form "klsm:<k>".  [Error] distinguishes a
+   malformed rank bound from a name that is not a klsm spelling at all,
+   so {!find} can report "klsm:abc" / "klsm:0" precisely instead of
+   falling through to the generic registry miss. *)
+let parse_klsm name =
+  let n = normalize name in
+  if not (has_klsm_prefix n) then
+    Error (Printf.sprintf "%S is not a klsm:<k> name" name)
+  else begin
+    let suffix = String.sub n 5 (String.length n - 5) in
+    match int_of_string_opt suffix with
+    | Some k when k >= 1 -> Ok k
+    | Some k ->
+      Error
+        (Printf.sprintf
+           "k-LSM rank bound must be a positive integer, got %d in %S" k name)
+    | None ->
+      Error
+        (Printf.sprintf
+           "malformed k-LSM rank bound %S in %S (expected klsm:<k> with k a \
+            positive integer)"
+           suffix name)
+  end
+
+(* Rank bound embedded anywhere in a backend name ("klsm:64",
+   "bounded:klsm:256", a mutant's "Broken klsm:1 ..."), for checkers that
+   key their rank envelope to k. *)
+let klsm_k_of_name name =
+  let n = normalize name in
+  let len = String.length n in
+  let rec find_at i =
+    if i + 5 > len then None
+    else if String.sub n i 5 = klsm_prefix then begin
+      let j = ref (i + 5) in
+      while !j < len && n.[!j] >= '0' && n.[!j] <= '9' do
+        incr j
+      done;
+      if !j = i + 5 then find_at (i + 1)
+      else
+        match int_of_string_opt (String.sub n (i + 5) (!j - i - 5)) with
+        | Some k when k >= 1 -> Some k
+        | _ -> find_at (i + 1)
+    end
+    else find_at (i + 1)
+  in
+  find_at 0
+
 let find backend name =
   let target = normalize name in
   match List.find_opt (fun i -> normalize i.name = target) (all backend) with
   | Some impl -> impl
   | None ->
-    invalid_arg
-      (Printf.sprintf "Queue_adapter.find: unknown implementation %S (known: %s)"
-         name
-         (String.concat ", " (List.sort String.compare (names backend))))
+    if has_klsm_prefix target then begin
+      (* Any valid rank bound constructs a backend on the fly; a malformed
+         one gets a parse-specific error, not a registry miss. *)
+      match parse_klsm name with
+      | Ok k -> (
+        match backend with
+        | Sim -> Sim.klsm ~k ~procs:registry_procs ()
+        | Native -> Native.klsm ~k ~procs:registry_procs ())
+      | Error msg -> invalid_arg ("Queue_adapter.find: " ^ msg)
+    end
+    else
+      invalid_arg
+        (Printf.sprintf "Queue_adapter.find: unknown implementation %S (known: %s)"
+           name
+           (String.concat ", " (List.sort String.compare (names backend))))

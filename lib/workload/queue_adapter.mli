@@ -27,6 +27,20 @@ type instance = {
           fall back to a yield-poll loop (no condition to park on — an
           unbounded structure cannot distinguish "empty now" from "empty
           forever"). *)
+  insert_batch : (int * int) array -> unit;
+      (** bulk insert of [(key, value)] pairs.  Element-for-element
+          equivalent to looping {!insert} — the contract every backend
+          honors and the agreement tests pin — but structures with a
+          native bulk path do better: the k-LSM sorts the batch and
+          publishes it as a single block.  Counts one [ops] per
+          element. *)
+  delete_min_batch : int -> (int * int) list;
+      (** [delete_min_batch n] claims up to [n] elements, returned in
+          claim order; shorter when the structure runs (observably) empty
+          — equivalent to looping {!try_delete_min} until [None].  The
+          SkipQueue family serves the whole batch from one bottom-level
+          hunt ([hunt_batch]); the k-LSM claims through one per-processor
+          state acquisition.  Counts one [ops] per element returned. *)
   stats : unit -> (string * float) list;
       (** counters for the ablation reports, as structured name/value
           pairs (render with [Printf.sprintf "%s=%.0f"]; no prose parsing
@@ -66,7 +80,8 @@ type spec =
           SkipQueue). *)
   | Rank_bounded
       (** No per-operation ordering promise, only a statistical rank-error
-          envelope (the MultiQueue). *)
+          envelope (the MultiQueue; the k-LSM, whose envelope the checkers
+          additionally key to the [k] embedded in its registry name). *)
 
 type impl = {
   name : string;
@@ -174,13 +189,33 @@ module Over (R : Repro_runtime.Runtime_intf.S) : sig
   (** The relaxed MultiQueue ({!Repro_multiqueue.Multiqueue}): c-way choice
       over [shard_factor * procs] try-locked sequential heaps. *)
 
+  val klsm :
+    ?seed:int64 ->
+    ?search_cycles:int ->
+    ?buffer_capacity:int ->
+    k:int ->
+    procs:int ->
+    unit ->
+    impl
+  (** The k-LSM ({!Repro_klsm.Klsm}): per-processor insertion buffers
+      merged log-structurally into a CAS-published block list, rank error
+      bounded by [k] (split between the foreign-buffer blind spot and the
+      relaxed choice among block heads — see the klsm library docs).
+      Registered as ["klsm:<k>"], [Rank_bounded], multiset semantics.
+      Native [insert_batch] (one sorted block) and [delete_min_batch].
+      Extra stats: ["flushes"], ["merges"], ["spy_sweeps"],
+      ["cas_failures"], ["batch_inserts"], ["batch_deletes"],
+      ["blocks"]. *)
+
   val bounded : ?capacity:int -> impl -> impl
   (** [bounded ~capacity impl] wraps [impl] in the two-lock
       bounded/blocking façade ({!Repro_bounded.Bounded_queue}): at most
       [capacity] (default 1024) elements admitted, [insert_wait] parks
       under backpressure, [delete_min_wait] parks on empty.  The wrapped
       implementation keeps its [spec] and [dedups] contract; the name
-      becomes ["bounded:" ^ impl.name]. *)
+      becomes ["bounded:" ^ impl.name].  The bulk entry points thread the
+      façade element-wise (each element crosses the capacity gate
+      individually). *)
 end
 
 (** Implementations over the simulator runtime. *)
@@ -250,6 +285,15 @@ module Sim : sig
     unit ->
     impl
 
+  val klsm :
+    ?seed:int64 ->
+    ?search_cycles:int ->
+    ?buffer_capacity:int ->
+    k:int ->
+    procs:int ->
+    unit ->
+    impl
+
   val bounded : ?capacity:int -> impl -> impl
 end
 
@@ -311,6 +355,11 @@ module Native : sig
   (** [heap_cycles_per_level] is pinned to 0: the real heap walk already
       costs real time under this backend. *)
 
+  val klsm :
+    ?seed:int64 -> ?buffer_capacity:int -> k:int -> procs:int -> unit -> impl
+  (** [search_cycles] is pinned to 0: the binary searches and merge walks
+      cost real time under this backend. *)
+
   val bounded : ?capacity:int -> impl -> impl
 end
 
@@ -327,11 +376,28 @@ val all : backend -> impl list
     simulator additionally has the funnel-front and reclamation ablation
     variants and the bounded-range bin queue).  Both backends also expose
     ["bounded:<name>"] façade entries (capacity 1024) over the skipqueue,
-    relaxed skipqueue, lock-free skipqueue, heap and multiqueue. *)
+    relaxed skipqueue, lock-free skipqueue, heap and multiqueue, and a
+    default ["klsm:256"] k-LSM. *)
 
 val names : backend -> string list
 
 val find : backend -> string -> impl
 (** Case- and space-insensitive lookup ("skipqueue", "Relaxed SkipQueue"
-    and "relaxedskipqueue" all resolve).  Raises [Invalid_argument] with
-    the known names, in sorted order, on a miss. *)
+    and "relaxedskipqueue" all resolve).  Names of the form ["klsm:<k>"]
+    construct a k-LSM for {e any} rank bound [k >= 1], not only the
+    registry default; a malformed bound ("klsm:abc", "klsm:0") raises
+    [Invalid_argument] naming the bad [k] — not a generic registry miss.
+    Any other unknown name raises [Invalid_argument] with the known
+    names, in sorted order. *)
+
+val parse_klsm : string -> (int, string) result
+(** Parse a (case/space-insensitive) name of the exact form ["klsm:<k>"].
+    [Ok k] for a positive integer bound; [Error] with a parse-specific
+    message for a malformed or non-positive bound, or for a name without
+    the prefix. *)
+
+val klsm_k_of_name : string -> int option
+(** The rank bound embedded anywhere in a backend name ("klsm:64",
+    "bounded:klsm:256", a mutant's "Broken klsm:1 ..."): how the
+    rank-envelope checker keys its ceilings to [k].  [None] when the name
+    carries no ["klsm:<digits>"] substring. *)
