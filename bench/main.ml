@@ -214,6 +214,7 @@ let measure_sweep ~runs ~fast_path =
       QA.find QA.Sim "SkipQueue";
       QA.find QA.Sim "Relaxed SkipQueue";
       QA.find QA.Sim "SkipQueue-lf";
+      QA.find QA.Sim "SkipQueue-co";
       QA.find QA.Sim "klsm:256";
     ]
   in
@@ -308,7 +309,7 @@ let sim_throughput ~runs ~label ~json =
       Printf.sprintf
         {|  {
     "label": %S,
-    "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed + lock-free + klsm:256)",
+    "benchmark": "fig7 sweep, bench scale (1%% ops, procs 1..32, SkipQueue + Relaxed + lock-free + coalescing + klsm:256)",
     "runs_per_mode": %d,
     "simulated_events_per_sweep": %d,
     "simulated_accesses_per_sweep": %d,

@@ -13,6 +13,7 @@
      dune exec bin/check.exe -- --broken lf-claim # torn two-step lock-free claim
      dune exec bin/check.exe -- --broken lf-free  # premature free in the lock-free queue
      dune exec bin/check.exe -- --broken klsm   # torn k-LSM buffer-to-shared spill
+     dune exec bin/check.exe -- --broken co     # torn lock-word decrement, coalescing queue
 
    --blocking switches to the producer/consumer harness: each selected
    backend is wrapped in the bounded façade at the blocking profile's
@@ -23,7 +24,7 @@
 
    Exit status: 0 all clean, 1 violations found, 2 usage error.  Under
    --broken the meaning flips: 0 the chosen mutant (swap | elim | wakeup |
-   lf-claim | lf-free | klsm | all, default swap) was caught, 1 it
+   lf-claim | lf-free | klsm | co | all, default swap) was caught, 1 it
    slipped through. *)
 
 open Cmdliner
@@ -60,6 +61,7 @@ let select_impls backends broken blocking ~capacity =
   | Some "lf-claim" -> [ (Repro_check.Broken.lf_claim_skipqueue (), false) ]
   | Some "lf-free" -> [ (Repro_check.Broken.lf_free_skipqueue (), false) ]
   | Some "klsm" -> [ (Repro_check.Broken.klsm_spill (), false) ]
+  | Some "co" -> [ (Repro_check.Broken.co_lockword (), false) ]
   | Some "all" ->
     [
       (Repro_check.Broken.skipqueue (), false);
@@ -68,10 +70,11 @@ let select_impls backends broken blocking ~capacity =
       (Repro_check.Broken.lf_claim_skipqueue (), false);
       (Repro_check.Broken.lf_free_skipqueue (), false);
       (Repro_check.Broken.klsm_spill (), false);
+      (Repro_check.Broken.co_lockword (), false);
     ]
   | Some other ->
     Printf.eprintf
-      "unknown mutant %S (known: swap, elim, wakeup, lf-claim, lf-free, klsm, all)\n" other;
+      "unknown mutant %S (known: swap, elim, wakeup, lf-claim, lf-free, klsm, co, all)\n" other;
     Stdlib.exit 2
   | None when blocking -> (
     match backends with
@@ -246,14 +249,15 @@ let broken =
            blocking harness), $(b,lf-claim) (torn two-step claim in the \
            lock-free SkipQueue), $(b,lf-free) (premature physical free in \
            the lock-free SkipQueue), $(b,klsm) (torn k-LSM buffer-to-shared \
-           block publish) or $(b,all).")
+           block publish), $(b,co) (torn count-decrementing release of the \
+           coalescing queue's packed lock word) or $(b,all).")
 
 let mutant =
   Arg.(
     value
     & pos 0 (some string) None
     & info [] ~docv:"MUTANT"
-        ~doc:"Mutant for $(b,--broken): swap, elim, wakeup, lf-claim, lf-free, klsm or all.")
+        ~doc:"Mutant for $(b,--broken): swap, elim, wakeup, lf-claim, lf-free, klsm, co or all.")
 
 let blocking =
   Arg.(

@@ -87,8 +87,9 @@ let ids =
      ablation-lockfree (CAS-marked deletion vs the locked SkipQueue), \
      scheduler (EDF jobs through the bounded/blocking façade), \
      klsm-shootout (Relaxed SkipQueue vs MultiQueue vs k-LSM with the \
-     rank-error oracle), 'native' (real-domain sweep), or 'all' (every \
-     simulator experiment)."
+     rank-error oracle), duplicate-heavy (coalescing SkipQueue over a \
+     key-range x processors grid), 'native' (real-domain sweep), or \
+     'all' (every simulator experiment)."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 

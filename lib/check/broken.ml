@@ -208,6 +208,57 @@ let lf_free_skipqueue () =
           ~try_delete_min:(fun () -> LfGood.delete_min q));
   }
 
+(* The torn-lockword mutant: the coalescing SkipQueue with
+   [broken_torn_dec] planted — delete-min's count-decrementing release of
+   the packed word decays from a CAS retry loop into a read, a scheduler
+   point, and a plain write computed from the stale word.  Every lock for
+   a node lives in that one word, so a level-lock transition falling into
+   the window is clobbered: a bit released there is re-asserted (leaked —
+   the next acquirer spins forever on a lock nobody holds, and the
+   access-budget watchdog reports the wedge), or a bit acquired there is
+   wiped (lost — the "holder" splices concurrently with a second acquirer
+   and an element vanishes, which conservation reports; the true holder's
+   own release then also trips {!Co_lockword}'s double-release check).
+   Capacity 1 maximizes the pressure: every insert links, every delete
+   decrements to zero and physically unlinks, so the hot head region is
+   dense with level-lock traffic racing the torn releases. *)
+module Co_watchdog_runtime = struct
+  include Repro_sim.Sim_runtime
+
+  let read cell =
+    incr reads;
+    if !reads > budget then
+      raise
+        (Wedged
+           (Printf.sprintf
+              "torn lock-word corruption: structure wedged after %d reads \
+               (leaked level-lock bit)"
+              budget));
+    Repro_sim.Sim_runtime.read cell
+end
+
+module CoTorn =
+  Repro_skipqueue.Skipqueue_co.Make (Co_watchdog_runtime) (Repro_pqueue.Key.Int)
+
+let co_name = "BrokenCoSkipQueue"
+
+let co_lockword () =
+  {
+    Repro_workload.Queue_adapter.name = co_name;
+    dedups = false;
+    spec = Repro_workload.Queue_adapter.Linearizable;
+    create =
+      (fun () ->
+        reads := 0;
+        let q =
+          CoTorn.create ~mode:CoTorn.Strict ~capacity:1 ~broken_torn_dec:true
+            ()
+        in
+        mk_instance
+          ~insert:(fun k v -> ignore (CoTorn.insert q k v))
+          ~try_delete_min:(fun () -> CoTorn.delete_min q));
+  }
+
 (* The torn-spill mutant: the k-LSM with [broken_spill] planted — the
    buffer-to-SLSM block publish decays from a CAS retry loop into a plain
    read followed (one scheduler point later) by a plain write of the new

@@ -48,6 +48,21 @@ val lf_free_skipqueue : unit -> Repro_workload.Queue_adapter.impl
     traverser walks into a recycled node and loses elements.
     Simulator-only. *)
 
+val co_name : string
+
+val co_lockword : unit -> Repro_workload.Queue_adapter.impl
+(** The torn-lockword mutant ([bin/check --broken co]): the coalescing
+    SkipQueue with [broken_torn_dec] planted — delete-min's
+    count-decrementing release of the packed single-word lock decays into
+    a read, a scheduler point and a plain write of a value computed from
+    the stale word.  A concurrent level-lock transition on the same word
+    is clobbered: a leaked bit wedges the next acquirer (access-budget
+    watchdog → execution violation), a lost bit lets two holders splice
+    one pointer (conservation violation) and trips
+    {!Repro_skipqueue.Co_lockword}'s double-release check.  Capacity 1
+    keeps every delete on the unlink path so the window is hit within a
+    few seeds.  Simulator-only. *)
+
 val klsm_spill_name : string
 
 val klsm_spill : unit -> Repro_workload.Queue_adapter.impl

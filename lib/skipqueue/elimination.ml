@@ -1,6 +1,49 @@
-module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) =
+(* The front end is generic in its backing queue: anything exposing the
+   claim/batch half of the SkipQueue's Delete-min split (first_bound,
+   hunt_batch) composes.  [Over] is the generic functor; [Make] is the
+   historical instantiation over {!Skipqueue}; the adapter also applies
+   [Over] to the coalescing queue ({!Skipqueue_co}). *)
+
+module type BACKING = sig
+  type key
+  type reclaim
+  type 'v t
+  type mode = Strict | Relaxed
+  type 'v batch
+
+  type op_stats = {
+    hunt_steps : int;
+    swap_losses : int;
+    stale_skips : int;
+    hunt_passes : int;
+  }
+
+  val create :
+    ?mode:mode ->
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?reclamation:reclaim ->
+    unit ->
+    'v t
+
+  val insert : 'v t -> key -> 'v -> [ `Inserted | `Updated ]
+  val first_bound : 'v t -> [ `Empty | `Min_at_most of key ]
+  val hunt_batch : 'v t -> want:int -> 'v batch
+  val batch_claims : 'v batch -> (key * 'v) list
+  val finish_batch : 'v t -> 'v batch -> unit
+  val size : 'v t -> int
+  val to_list : 'v t -> (key * 'v) list
+  val check_invariants : 'v t -> (unit, string) result
+  val stats : 'v t -> op_stats
+end
+
+module Over
+    (R : Repro_runtime.Runtime_intf.S)
+    (K : Repro_pqueue.Key.ORDERED)
+    (Q : BACKING with type key = K.t) =
 struct
-  module SQ = Skipqueue.Make (R) (K)
+  module SQ = Q
 
   (* Published by a deleter: only an insert whose key is strictly below
      [bound] may eliminate with it — and even then only after justifying
@@ -378,3 +421,17 @@ struct
 
   let queue_stats t = SQ.stats t.q
 end
+
+(* {!Skipqueue.Make} as a BACKING: only the [key]/[reclaim] aliases are
+   added — no value is wrapped, so every type identity (mode constructors,
+   op_stats fields, create's arity) is the base queue's own. *)
+module Backing (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) =
+struct
+  include Skipqueue.Make (R) (K)
+
+  type key = K.t
+  type reclaim = Reclaim.t
+end
+
+module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) =
+  Over (R) (K) (Backing (R) (K))

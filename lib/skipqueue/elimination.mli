@@ -61,8 +61,61 @@
     justified by a hunt that starts after every served waiter's
     invocation. *)
 
-module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : sig
-  module SQ : module type of Skipqueue.Make (R) (K)
+(** The queue interface the front end needs: the claim/batch half of the
+    SkipQueue's Delete-min split (first_bound, hunt_batch / batch_claims /
+    finish_batch) plus the plain entry points.  Both {!Skipqueue.Make}
+    (via {!Backing}) and {!Skipqueue_co.Make} satisfy it — the latter
+    directly, since it exports the [key]/[reclaim] aliases itself.
+
+    The front end's correctness argument needs one property beyond the
+    signature: an eliminated key is strictly below the published {e and}
+    freshly-read bound, i.e. strictly below every settled element — so a
+    rendezvoused element can never be a duplicate of (and in particular
+    can never {e coalesce} with) anything in the structure. *)
+module type BACKING = sig
+  type key
+  type reclaim
+  type 'v t
+  type mode = Strict | Relaxed
+  type 'v batch
+
+  type op_stats = {
+    hunt_steps : int;
+    swap_losses : int;
+    stale_skips : int;
+    hunt_passes : int;
+  }
+
+  val create :
+    ?mode:mode ->
+    ?p:float ->
+    ?max_level:int ->
+    ?seed:int64 ->
+    ?reclamation:reclaim ->
+    unit ->
+    'v t
+
+  val insert : 'v t -> key -> 'v -> [ `Inserted | `Updated ]
+  val first_bound : 'v t -> [ `Empty | `Min_at_most of key ]
+  val hunt_batch : 'v t -> want:int -> 'v batch
+  val batch_claims : 'v batch -> (key * 'v) list
+  val finish_batch : 'v t -> 'v batch -> unit
+  val size : 'v t -> int
+  val to_list : 'v t -> (key * 'v) list
+  val check_invariants : 'v t -> (unit, string) result
+  val stats : 'v t -> op_stats
+end
+
+module Over
+    (R : Repro_runtime.Runtime_intf.S)
+    (K : Repro_pqueue.Key.ORDERED)
+    (Q : BACKING with type key = K.t) : sig
+  module SQ :
+    BACKING
+      with type key = K.t
+       and type reclaim = Q.reclaim
+       and type 'v t = 'v Q.t
+       and type 'v batch = 'v Q.batch
 
   type 'v t
 
@@ -71,7 +124,7 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
     ?p:float ->
     ?max_level:int ->
     ?seed:int64 ->
-    ?reclamation:SQ.Reclaim.t ->
+    ?reclamation:SQ.reclaim ->
     ?slots:int ->
     ?width:int ->
     ?window:int ->
@@ -144,3 +197,13 @@ module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) : 
   val queue_stats : 'v t -> SQ.op_stats
   (** {!SQ.stats} of the backing queue. *)
 end
+
+module Backing (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) :
+  BACKING with type key = K.t
+(** {!Skipqueue.Make} with the [key]/[reclaim] aliases added; no value is
+    wrapped. *)
+
+module Make (R : Repro_runtime.Runtime_intf.S) (K : Repro_pqueue.Key.ORDERED) :
+  module type of Over (R) (K) (Backing (R) (K))
+(** The historical instantiation: the front end over the paper's locked
+    SkipQueue. *)

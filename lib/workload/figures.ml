@@ -1245,6 +1245,180 @@ let klsm_shootout options =
     data;
   }
 
+(* A15: the coalescing SkipQueue (DESIGN.md §S21) on duplicate-heavy
+   workloads.  Keys are drawn from a narrow range, so most inserts hit a
+   live equal-key node and coalesce into its slab instead of allocating
+   and linking; delete-min then drains a node's count before paying one
+   physical unlink.  Three key ranges act as the duplicate-ratio axis
+   (64: ~every insert coalesces; 256: the klsm-shootout's duplicate
+   workload; 4096: mild duplication), each swept across the processor
+   axis over the locked original, the coalescing variant, the coalescing
+   variant behind the elimination front end, and the lock-free queue.
+   Caveat on like-for-like: the plain SkipQueue carries the PR 1 dedup
+   contract (a duplicate insert updates in place), the other three keep
+   multiset semantics — exactly the semantic gap the coalescing node
+   closes without giving up distinct instances.  The fully traced probe
+   reruns the 256-range workload at >= 64 processors and compares where
+   the queued cycles land: coalesced joins touch one packed word mid-list
+   instead of walking locked level pointers at the head, so the
+   coalescing queue's hottest line should sit below the locked hunt's. *)
+let duplicate_heavy options =
+  let impls () =
+    [
+      Queue_adapter.Sim.skipqueue ();
+      Queue_adapter.Sim.skipqueue_co ();
+      Queue_adapter.Sim.elim_skipqueue_co ();
+      Queue_adapter.Sim.skipqueue_lf ();
+    ]
+  in
+  let series_for ~key_range =
+    List.map
+      (fun impl ->
+        let workload_of procs =
+          {
+            (base_workload options ~procs ~initial:1000 ~ops:7_000
+               ~insert_ratio:0.5 ~work:100)
+            with
+            Benchmark.key_range;
+          }
+        in
+        (impl.Queue_adapter.name, sweep options ~impl ~workload_of))
+      (impls ())
+  in
+  let ranges = [ 64; 256; 4096 ] in
+  let range_series =
+    List.map (fun key_range -> (key_range, series_for ~key_range)) ranges
+  in
+  let top = 1 lsl options.max_procs_log2 in
+  let probe_procs = Int.min 64 top in
+  (* Same shape as the elimination/lock-free probes, on the 256-value key
+     range: one traced rerun per structure at [probe_procs]. *)
+  let probe impl =
+    options.progress
+      (Printf.sprintf "duplicate-heavy head probe: %s @ %d procs"
+         impl.Queue_adapter.name probe_procs);
+    let summary = Repro_sim.Trace.Summary.create () in
+    let ops = scaled options 7_000 in
+    let (_ : Repro_sim.Machine.report) =
+      Repro_sim.Machine.run
+        ~tracer:(Repro_sim.Trace.Summary.sink summary)
+        (fun () ->
+          let q = impl.Queue_adapter.create () in
+          let rng = Repro_util.Rng.of_seed 99L in
+          for i = 0 to 999 do
+            q.Queue_adapter.insert (Repro_util.Rng.int rng 256) (1_000_000 + i)
+          done;
+          for p = 0 to probe_procs - 1 do
+            let rng = Repro_util.Rng.of_seed (Int64.of_int (7_000 + p)) in
+            Repro_sim.Machine.spawn (fun () ->
+                for i = 0 to (ops / probe_procs) - 1 do
+                  Repro_sim.Machine.work 100;
+                  if Repro_util.Rng.bernoulli rng 0.5 then
+                    q.Queue_adapter.insert
+                      (Repro_util.Rng.int rng 256)
+                      ((p * 1_000_000) + i)
+                  else ignore (q.Queue_adapter.try_delete_min ())
+                done)
+          done)
+    in
+    summary
+  in
+  let hottest_queued summary =
+    match Repro_sim.Trace.Summary.hottest_locations summary ~n:1 with
+    | (_, _, queued) :: _ -> queued
+    | [] -> 0
+  in
+  let top8_queued summary =
+    List.fold_left
+      (fun acc (_, _, queued) -> acc + queued)
+      0
+      (Repro_sim.Trace.Summary.hottest_locations summary ~n:8)
+  in
+  let probe_line name summary =
+    Printf.sprintf "%-22s hottest line queued %9d cycles; top-8 lines %9d\n" name
+      (hottest_queued summary) (top8_queued summary)
+  in
+  let plain_probe = probe (Queue_adapter.Sim.skipqueue ()) in
+  let co_probe = probe (Queue_adapter.Sim.skipqueue_co ()) in
+  let co_elim_probe = probe (Queue_adapter.Sim.elim_skipqueue_co ()) in
+  let lf_probe = probe (Queue_adapter.Sim.skipqueue_lf ()) in
+  let series_256 = List.assoc 256 range_series in
+  let co_stat series k =
+    let stats = (at series "SkipQueue-co" top).Benchmark.queue_stats in
+    try List.assoc k stats with Not_found -> 0.0
+  in
+  let co_counters series =
+    Printf.sprintf "coalescing counters @%d procs: %s\n" top
+      (stats_line (at series "SkipQueue-co" top).Benchmark.queue_stats)
+  in
+  let body =
+    String.concat "\n"
+      (List.map
+         (fun (key_range, series) ->
+           Printf.sprintf
+             "--- key range %d (1000 initial, 7000 ops, 50%% inserts) ---\n"
+             key_range
+           ^ latency_tables ~series ^ co_counters series)
+         range_series)
+    ^ Printf.sprintf
+        "\nHead-of-list contention probe (256-range workload, %d procs, full tracing)\n"
+        probe_procs
+    ^ probe_line "SkipQueue" plain_probe
+    ^ probe_line "SkipQueue-co" co_probe
+    ^ probe_line "SkipQueue-co-elim" co_elim_probe
+    ^ probe_line "SkipQueue-lf" lf_probe
+  in
+  let indicators =
+    List.concat_map
+      (fun (key_range, series) ->
+        [
+          ratio_indicator series ~slow:"SkipQueue" ~fast:"SkipQueue-co"
+            ~procs:probe_procs del
+            (Printf.sprintf
+               "plain/co deletion latency @%d, range %d (want > 1)" probe_procs
+               key_range);
+          ratio_indicator series ~slow:"SkipQueue" ~fast:"SkipQueue-co"
+            ~procs:top ins
+            (Printf.sprintf "plain/co insertion latency @%d, range %d" top
+               key_range);
+        ])
+      range_series
+    @ [
+        ratio_indicator series_256 ~slow:"SkipQueue-co" ~fast:"SkipQueue-co-elim"
+          ~procs:probe_procs del
+          (Printf.sprintf "co/co-elim deletion latency @%d, range 256"
+             probe_procs);
+        ( Printf.sprintf "plain/co hottest-line queued cycles @%d procs"
+            probe_procs,
+          float_of_int (hottest_queued plain_probe)
+          /. float_of_int (Int.max 1 (hottest_queued co_probe)) );
+        (* At a 50/50 mix, hunt passes ~ inserts, so this approximates the
+           share of inserts absorbed into an existing node's slab. *)
+        ( Printf.sprintf "coalesced inserts per insert @%d, range 256" top,
+          co_stat series_256 "coalesced_inserts"
+          /. Float.max 1.0 (co_stat series_256 "hunt_passes") );
+        ( Printf.sprintf "capacity-full node splits @%d, range 256" top,
+          co_stat series_256 "node_splits" );
+      ]
+  in
+  let data =
+    List.concat_map
+      (fun (key_range, series) ->
+        List.map
+          (fun (name, points) ->
+            (Printf.sprintf "%s/range%d" name key_range, points))
+          (series_data series))
+      range_series
+  in
+  {
+    id = "duplicate-heavy";
+    title =
+      "coalescing SkipQueue on duplicate-heavy workloads (key range x processors)";
+    body;
+    indicators;
+    data;
+  }
+
 let all =
   [
     ("fig2", fig2);
@@ -1265,4 +1439,5 @@ let all =
     ("ablation-lockfree", ablation_lockfree);
     ("scheduler", scheduler);
     ("klsm-shootout", klsm_shootout);
+    ("duplicate-heavy", duplicate_heavy);
   ]

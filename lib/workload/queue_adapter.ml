@@ -22,7 +22,23 @@ module Key = Repro_pqueue.Key.Int
 module Over (R : Repro_runtime.Runtime_intf.S) = struct
   module SQ = Repro_skipqueue.Skipqueue.Make (R) (Key)
   module LF = Repro_skipqueue.Skipqueue_lf.Make (R) (Key)
+  module CO = Repro_skipqueue.Skipqueue_co.Make (R) (Key)
   module Elim = Repro_skipqueue.Elimination.Make (R) (Key)
+
+  (* The elimination front end over the coalescing queue: [Over] needs
+     BACKING's create arity, so the wrapper pins the coalescing knobs to
+     their defaults (multiset semantics, default capacity).  An eliminated
+     pair never reaches the structure, so it can never also coalesce —
+     strict-below-bound admission keeps the exchanged key distinct from
+     every settled element (see Elimination.BACKING). *)
+  module ElimCo =
+    Repro_skipqueue.Elimination.Over (R) (Key)
+      (struct
+        include CO
+
+        let create ?mode ?p ?max_level ?seed ?reclamation () =
+          CO.create ?mode ?p ?max_level ?seed ?reclamation ()
+      end)
   module Heap = Repro_heap.Hunt_heap.Make (R) (Key)
   module FL = Repro_funnel.Funnel_list.Make (R) (Key)
   module Funnel = Repro_funnel.Combining_funnel.Make (R)
@@ -221,6 +237,105 @@ module Over (R : Repro_runtime.Runtime_intf.S) = struct
       dedups = true;
       spec = Relaxed;
       create = (fun () -> skipqueue_instance ~mode:SQ.Relaxed ?p ?max_level ?seed ());
+    }
+
+  (* Coalescing SkipQueue (DESIGN.md §S21): duplicate-key multiset nodes
+     behind one packed lock word.  Same claim/batch split as the base
+     queue, so the native bulk delete carries over — and one coalesced
+     node can satisfy a whole batch in a single hunt pass. *)
+  let co_instance ~mode ~dedups ?p ?max_level ?seed ?capacity () =
+    let q = CO.create ~mode ~dedups ?p ?max_level ?seed ?capacity () in
+    instance
+      ~insert:(fun k v -> ignore (CO.insert q k v))
+      ~try_delete_min:(fun () -> CO.delete_min q)
+      ~delete_min_batch:(fun want ->
+        if want <= 0 then []
+        else begin
+          let batch = CO.hunt_batch q ~want in
+          let kvs = CO.batch_claims batch in
+          CO.finish_batch q batch;
+          kvs
+        end)
+      ~stats:(fun () ->
+        let s = CO.stats q in
+        let c = CO.co_stats q in
+        [
+          ("hunt_steps", float_of_int s.CO.hunt_steps);
+          ("swap_losses", float_of_int s.CO.swap_losses);
+          ("stale_skips", float_of_int s.CO.stale_skips);
+          ("hunt_passes", float_of_int s.CO.hunt_passes);
+          ("coalesced_inserts", float_of_int c.CO.coalesced_inserts);
+          ("node_splits", float_of_int c.CO.node_splits);
+        ])
+      ()
+
+  let skipqueue_co ?p ?max_level ?seed ?capacity () =
+    {
+      name = "SkipQueue-co";
+      dedups = false;
+      spec = Linearizable;
+      create =
+        (fun () ->
+          co_instance ~mode:CO.Strict ~dedups:false ?p ?max_level ?seed
+            ?capacity ());
+    }
+
+  (* Same layout under the PR 1 update-in-place contract: the check
+     harness then tags keys unique, exercising the join/link machinery's
+     dedup paths rather than the multiset admission. *)
+  let skipqueue_co_dedup ?p ?max_level ?seed ?capacity () =
+    {
+      name = "SkipQueue-co-dedup";
+      dedups = true;
+      spec = Linearizable;
+      create =
+        (fun () ->
+          co_instance ~mode:CO.Strict ~dedups:true ?p ?max_level ?seed
+            ?capacity ());
+    }
+
+  let relaxed_skipqueue_co ?p ?max_level ?seed ?capacity () =
+    {
+      name = "Relaxed SkipQueue-co";
+      dedups = false;
+      spec = Relaxed;
+      create =
+        (fun () ->
+          co_instance ~mode:CO.Relaxed ~dedups:false ?p ?max_level ?seed
+            ?capacity ());
+    }
+
+  (* Elimination front end over the coalescing queue (multiset
+     semantics).  Preserves the backing contract exactly as over the base
+     queue, so the strict flavor keeps [Linearizable]. *)
+  let elim_skipqueue_co ?slots ?width ?window ?poll_cycles ?serve_cap
+      ?bound_every ?adaptive () =
+    {
+      name = "SkipQueue-co-elim";
+      dedups = false;
+      spec = Linearizable;
+      create =
+        (fun () ->
+          let q =
+            ElimCo.create ~mode:ElimCo.SQ.Strict ?slots ?width ?window
+              ?poll_cycles ?serve_cap ?bound_every ?adaptive ()
+          in
+          instance
+            ~insert:(fun k v -> ignore (ElimCo.insert q k v))
+            ~try_delete_min:(fun () -> ElimCo.delete_min q)
+            ~stats:(fun () ->
+              let f = ElimCo.front_stats q in
+              let s = ElimCo.queue_stats q in
+              [
+                ("eliminated", float_of_int f.ElimCo.eliminated);
+                ("served", float_of_int f.ElimCo.served);
+                ("batches", float_of_int f.ElimCo.batches);
+                ("timeouts", float_of_int f.ElimCo.timeouts);
+                ("hunt_steps", float_of_int s.ElimCo.SQ.hunt_steps);
+                ("swap_losses", float_of_int s.ElimCo.SQ.swap_losses);
+                ("hunt_passes", float_of_int s.ElimCo.SQ.hunt_passes);
+              ])
+            ());
     }
 
   (* Elimination–combining front end over the same SkipQueue (Calciu,
@@ -521,8 +636,12 @@ let all = function
       Sim.skipqueue ();
       Sim.relaxed_skipqueue ();
       Sim.skipqueue_lf ();
+      Sim.skipqueue_co ();
+      Sim.skipqueue_co_dedup ();
+      Sim.relaxed_skipqueue_co ();
       Sim.elim_skipqueue ();
       Sim.relaxed_elim_skipqueue ();
+      Sim.elim_skipqueue_co ();
       Sim.hunt_heap ();
       Sim.funnel_list ();
       Sim.multiqueue ~procs:registry_procs ();
@@ -537,6 +656,7 @@ let all = function
       Sim.bounded (Sim.skipqueue ());
       Sim.bounded (Sim.relaxed_skipqueue ());
       Sim.bounded (Sim.skipqueue_lf ());
+      Sim.bounded (Sim.skipqueue_co ());
       Sim.bounded (Sim.hunt_heap ());
       Sim.bounded (Sim.multiqueue ~procs:registry_procs ());
     ]
@@ -545,8 +665,12 @@ let all = function
       Native.skipqueue ();
       Native.relaxed_skipqueue ();
       Native.skipqueue_lf ();
+      Native.skipqueue_co ();
+      Native.skipqueue_co_dedup ();
+      Native.relaxed_skipqueue_co ();
       Native.elim_skipqueue ();
       Native.relaxed_elim_skipqueue ();
+      Native.elim_skipqueue_co ();
       Native.hunt_heap ();
       Native.funnel_list ();
       Native.multiqueue ~procs:registry_procs ();
@@ -554,6 +678,7 @@ let all = function
       Native.bounded (Native.skipqueue ());
       Native.bounded (Native.relaxed_skipqueue ());
       Native.bounded (Native.skipqueue_lf ());
+      Native.bounded (Native.skipqueue_co ());
       Native.bounded (Native.hunt_heap ());
       Native.bounded (Native.multiqueue ~procs:registry_procs ());
     ]

@@ -155,6 +155,44 @@ module Over (R : Repro_runtime.Runtime_intf.S) : sig
       the backing queue's contract (DESIGN.md §S15): the strict flavor
       stays [Linearizable], the relaxed one [Relaxed]. *)
 
+  val skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+  (** Coalescing SkipQueue ({!Repro_skipqueue.Skipqueue_co}, DESIGN.md
+      §S21): nodes hold a bounded multiset of same-key elements and all
+      per-node locking lives in one bit-packed word
+      ({!Repro_skipqueue.Co_lockword}).  [Linearizable], multiset
+      semantics ([dedups = false], [capacity] defaults to 8 elements per
+      node).  Extra stats: ["coalesced_inserts"], ["node_splits"]. *)
+
+  val skipqueue_co_dedup :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+  (** The coalescing structure under the PR 1 dedup contract: an insert of
+      a present key updates its element in place, every node count stays
+      1, and only the packed-lock-word mechanics differ from the base
+      SkipQueue. *)
+
+  val relaxed_skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+  (** [Relaxed] (§5.4) flavor of {!skipqueue_co}: no timestamps, a
+      delete-min may claim an element still being inserted. *)
+
+  val elim_skipqueue_co :
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+  (** The coalescing SkipQueue behind the {!Repro_skipqueue.Elimination}
+      front end ([Elimination.Over] over the coalescing backing).  An
+      eliminated key is strictly below every settled element, so a
+      rendezvoused pair can never coalesce with the structure; everything
+      that does reach the skiplist coalesces as in {!skipqueue_co}.
+      Front-end stats plus the backing hunt counters. *)
+
   val funneled_skipqueue : ?collision_window:int -> unit -> impl
   (** Ablation A1: a SkipQueue whose Delete-mins are regulated by a
       combining funnel instead of racing SWAPs down the bottom level — the
@@ -260,6 +298,26 @@ module Sim : sig
     unit ->
     impl
 
+  val skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val skipqueue_co_dedup :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val relaxed_skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val elim_skipqueue_co :
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
   val funneled_skipqueue : ?collision_window:int -> unit -> impl
 
   val skipqueue_with_reclamation :
@@ -329,6 +387,26 @@ module Native : sig
     ?p:float ->
     ?max_level:int ->
     ?seed:int64 ->
+    ?slots:int ->
+    ?width:int ->
+    ?window:int ->
+    ?poll_cycles:int ->
+    ?serve_cap:int ->
+    ?bound_every:int ->
+    ?adaptive:bool ->
+    unit ->
+    impl
+
+  val skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val skipqueue_co_dedup :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val relaxed_skipqueue_co :
+    ?p:float -> ?max_level:int -> ?seed:int64 -> ?capacity:int -> unit -> impl
+
+  val elim_skipqueue_co :
     ?slots:int ->
     ?width:int ->
     ?window:int ->
